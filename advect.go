@@ -1,0 +1,142 @@
+// Package advect is a Go reproduction of "Overlapping Computation and
+// Communication for Advection on Hybrid Parallel Computers" (White &
+// Dongarra, IPDPS 2011): explicit Lax–Wendroff time integration of linear
+// advection in a periodic 3-D domain, implemented nine ways — from a
+// single threaded task to a fully overlapped hybrid CPU/GPU code — on
+// substrates built for this reproduction: an in-process MPI runtime, an
+// OpenMP-style worker-team runtime, and a simulated CUDA device with
+// streams and a PCIe model.
+//
+// The package re-exports the reproduction's public surface:
+//
+//   - Problem, Options, Result, and Run — run any of the nine
+//     implementations functionally and verify it against the analytic
+//     solution;
+//   - Machines and Predict — the calibrated performance models that
+//     regenerate the paper's figures at machine scale;
+//   - Experiments — the per-table/per-figure harness.
+//
+// A minimal run:
+//
+//	p := advect.NewProblem(64, 50)
+//	res, err := advect.Run(advect.HybridOverlap, p, advect.Options{
+//		Tasks: 4, Threads: 2, Verify: true,
+//	})
+//
+// See the examples directory for complete programs.
+package advect
+
+import (
+	"io"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/grid"
+	_ "repro/internal/impl" // register the nine implementations
+	"repro/internal/machine"
+	"repro/internal/perf"
+)
+
+// Kind identifies one of the paper's nine implementations (§IV).
+type Kind = core.Kind
+
+// The nine implementations, in paper order (§IV-A … §IV-I).
+const (
+	SingleTask         = core.SingleTask
+	BulkSync           = core.BulkSync
+	NonblockingOverlap = core.NonblockingOverlap
+	ThreadedOverlap    = core.ThreadedOverlap
+	GPUResident        = core.GPUResident
+	GPUBulkSync        = core.GPUBulkSync
+	GPUStreams         = core.GPUStreams
+	HybridBulkSync     = core.HybridBulkSync
+	HybridOverlap      = core.HybridOverlap
+
+	// WideHaloExt is this reproduction's communication-avoiding extension
+	// implementation (not one of the paper's nine).
+	WideHaloExt = core.WideHaloExt
+)
+
+// Problem is the advection test case (paper §II).
+type Problem = core.Problem
+
+// Options selects the parallel configuration of a run.
+type Options = core.Options
+
+// Result reports a completed run, including verification norms.
+type Result = core.Result
+
+// Velocity is the constant uniform advection velocity.
+type Velocity = grid.Velocity
+
+// Dims holds grid extents.
+type Dims = grid.Dims
+
+// Kinds returns all nine implementation kinds in paper order.
+func Kinds() []Kind { return core.Kinds() }
+
+// ParseKind converts an identifier such as "hybrid-overlap" to a Kind.
+func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// NewProblem returns an n³ instance of the test case with the default
+// velocity, integrating the given number of steps at the maximum stable ν.
+func NewProblem(n, steps int) Problem { return core.DefaultProblem(n, steps) }
+
+// PaperProblem returns the paper's 420³ configuration.
+func PaperProblem(steps int) Problem { return core.PaperProblem(steps) }
+
+// Run integrates the problem with the chosen implementation.
+func Run(k Kind, p Problem, o Options) (*Result, error) {
+	r, err := core.New(k)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(p, o)
+}
+
+// Machine describes one of the paper's four computers (Table II) together
+// with its calibrated performance constants.
+type Machine = machine.Machine
+
+// Machines returns the paper's four machines: JaguarPF, Hopper II, Lens,
+// and Yona.
+func Machines() []*Machine { return machine.All() }
+
+// MachineByName looks a machine up by its Table II name.
+func MachineByName(name string) (*Machine, error) { return machine.ByName(name) }
+
+// PredictConfig selects one point of the paper's tuning space for the
+// performance model.
+type PredictConfig = perf.Config
+
+// Prediction is a modelled per-step timing.
+type Prediction = perf.Estimate
+
+// Predict estimates the per-step time and throughput of an implementation
+// on one of the paper's machines at the given scale — the model behind the
+// reproduction of Figures 3-6 and 9-12.
+func Predict(cfg PredictConfig) (Prediction, error) { return perf.Evaluate(cfg) }
+
+// Checkpoint describes a saved simulation state.
+type Checkpoint = checkpoint.Meta
+
+// SaveCheckpoint serializes a completed run's final state so a later run
+// can resume it bit-for-bit (the paper's §IV-E scenario of long
+// computations between checkpoints).
+func SaveCheckpoint(w io.Writer, p Problem, res *Result) error {
+	m, f, err := checkpoint.FromResult(p, res)
+	if err != nil {
+		return err
+	}
+	return checkpoint.Save(w, m, f)
+}
+
+// LoadCheckpoint reads a saved state and returns the problem that resumes
+// it for the given number of further steps.
+func LoadCheckpoint(r io.Reader, steps int) (Problem, error) {
+	m, f, err := checkpoint.Load(r)
+	if err != nil {
+		return Problem{}, err
+	}
+	return checkpoint.Resume(m, f, steps), nil
+}

@@ -1,0 +1,103 @@
+package advect_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	p := advect.NewProblem(16, 3)
+	res, err := advect.Run(advect.SingleTask, p, advect.Options{Threads: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == nil || res.Norms.L2 <= 0 {
+		t.Fatal("no verified result")
+	}
+}
+
+func TestPublicAPIAllKinds(t *testing.T) {
+	p := advect.NewProblem(12, 2)
+	for _, k := range advect.Kinds() {
+		o := advect.Options{Tasks: 2, Threads: 2, BlockX: 8, BlockY: 4}
+		if !k.UsesMPI() {
+			o.Tasks = 1
+		}
+		if _, err := advect.Run(k, p, o); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+	}
+}
+
+func TestPublicAPIPredict(t *testing.T) {
+	yona, err := advect.MachineByName("Yona")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := advect.Predict(advect.PredictConfig{
+		M: yona, Kind: advect.HybridOverlap, Cores: 12, Threads: 12,
+		BoxThickness: 1, BlockX: 32, BlockY: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.GF < 40 || e.GF > 120 {
+		t.Fatalf("implausible prediction %v GF", e.GF)
+	}
+}
+
+func TestPublicAPIMachines(t *testing.T) {
+	if len(advect.Machines()) != 4 {
+		t.Fatal("expected the paper's four machines")
+	}
+	if _, err := advect.MachineByName("nope"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := advect.ParseKind("hybrid-overlap"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperProblemShape(t *testing.T) {
+	p := advect.PaperProblem(5)
+	if p.N.X != 420 || p.N.Y != 420 || p.N.Z != 420 {
+		t.Fatalf("paper grid %v", p.N)
+	}
+}
+
+func TestPublicAPICheckpointRoundTrip(t *testing.T) {
+	p := advect.NewProblem(16, 8)
+	straight, err := advect.Run(advect.BulkSync, p, advect.Options{Tasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := advect.NewProblem(16, 4)
+	res, err := advect.Run(advect.BulkSync, half, advect.Options{Tasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := advect.SaveCheckpoint(&buf, half, res); err != nil {
+		t.Fatal(err)
+	}
+	resumeP, err := advect.LoadCheckpoint(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := advect.Run(advect.BulkSync, resumeP, advect.Options{Tasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 16; i++ {
+				if straight.Final.At(i, j, k) != resumed.Final.At(i, j, k) {
+					t.Fatalf("restart diverged at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command once per test binary.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "advect")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Skipf("cannot build CLI (no toolchain?): %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("advect %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+
+	// List mode names all ten implementations.
+	list := runCLI(t, bin, "-list")
+	for _, want := range []string{"single", "bulk", "hybrid-overlap", "wide-halo", "IV-A", "IV-I"} {
+		if !strings.Contains(list, want) {
+			t.Fatalf("-list missing %q:\n%s", want, list)
+		}
+	}
+
+	// A verified hybrid run.
+	out := runCLI(t, bin, "-impl", "hybrid-overlap", "-n", "16", "-steps", "3",
+		"-tasks", "2", "-threads", "2")
+	for _, want := range []string{"error L2", "mass drift", "sim.gf"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("run output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Checkpoint round trip through the CLI.
+	ckpt := filepath.Join(t.TempDir(), "s.ckpt")
+	runCLI(t, bin, "-impl", "bulk", "-n", "12", "-steps", "4", "-tasks", "2", "-save", ckpt)
+	out = runCLI(t, bin, "-impl", "bulk", "-steps", "4", "-tasks", "2", "-load", ckpt)
+	if !strings.Contains(out, "resumed from") || !strings.Contains(out, "4 steps already integrated") {
+		t.Fatalf("resume output wrong:\n%s", out)
+	}
+
+	// Overlap tracing.
+	out = runCLI(t, bin, "-impl", "gpu-streams", "-n", "16", "-steps", "2", "-trace")
+	if !strings.Contains(out, "trace.overlap.sec") {
+		t.Fatalf("trace output missing overlap stats:\n%s", out)
+	}
+
+	// Unknown implementation fails loudly.
+	if _, err := exec.Command(bin, "-impl", "nope").CombinedOutput(); err == nil {
+		t.Fatal("unknown implementation accepted")
+	}
+}

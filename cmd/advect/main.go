@@ -1,0 +1,147 @@
+// Command advect runs the advection test case end to end with any of the
+// paper's nine implementations and reports timing, throughput, and
+// verification norms.
+//
+// Usage:
+//
+//	advect -impl hybrid-overlap -n 64 -steps 50 -tasks 4 -threads 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/measure"
+)
+
+func main() {
+	var (
+		implName  = flag.String("impl", "single", "implementation: single, bulk, nonblocking, threaded, gpu, gpu-bulk, gpu-streams, hybrid-bulk, hybrid-overlap, wide-halo")
+		n         = flag.Int("n", 64, "grid points per dimension")
+		steps     = flag.Int("steps", 20, "time steps")
+		tasks     = flag.Int("tasks", 1, "MPI tasks")
+		threads   = flag.Int("threads", 1, "OpenMP threads per task")
+		blockX    = flag.Int("blockx", 32, "GPU block x dimension")
+		blockY    = flag.Int("blocky", 8, "GPU block y dimension")
+		thickness = flag.Int("thickness", 1, "CPU box thickness (hybrid implementations)")
+		haloWidth = flag.Int("halowidth", 2, "exchange depth W (wide-halo extension implementation)")
+		tasksGPU  = flag.Int("taskspergpu", 0, "MPI tasks sharing one simulated GPU (0 = one device per task)")
+		gpuName   = flag.String("gpu", "c2050", "simulated GPU: c1060 or c2050")
+		verify    = flag.Bool("verify", true, "compare against the analytic solution")
+		minTime   = flag.Duration("mintime", 0, "calibrate the step count so the measurement runs at least this long (the paper's methodology; overrides -steps)")
+		trace     = flag.Bool("trace", false, "record the simulated GPU/PCIe timeline and report overlap (GPU implementations)")
+		saveCkpt  = flag.String("save", "", "write a checkpoint of the final state to this file")
+		loadCkpt  = flag.String("load", "", "resume from a checkpoint file (overrides -n)")
+		list      = flag.Bool("list", false, "list implementations and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range advect.Kinds() {
+			fmt.Printf("%-16s %s: %s\n", k.String(), k.Section(), k.Describe())
+		}
+		fmt.Printf("%-16s %s: %s\n", core.WideHaloExt.String(), "ext", core.WideHaloExt.Describe())
+		return
+	}
+
+	kind, err := advect.ParseKind(*implName)
+	if err != nil {
+		fatal(err)
+	}
+	gpu := core.GPUC2050
+	if *gpuName == "c1060" {
+		gpu = core.GPUC1060
+	}
+
+	p := advect.NewProblem(*n, *steps)
+	if *loadCkpt != "" {
+		m, f, err := checkpoint.LoadFile(*loadCkpt)
+		if err != nil {
+			fatal(err)
+		}
+		p = checkpoint.Resume(m, f, *steps)
+		fmt.Printf("resumed from %s: %v, %d steps already integrated (t=%g)\n",
+			*loadCkpt, m.N, m.StepsDone, m.T0)
+	}
+	o := advect.Options{
+		Tasks: *tasks, Threads: *threads,
+		BlockX: *blockX, BlockY: *blockY,
+		BoxThickness: *thickness,
+		HaloWidth:    *haloWidth,
+		TasksPerGPU:  *tasksGPU,
+		GPU:          gpu,
+		Verify:       *verify,
+		TraceOverlap: *trace && kind.UsesGPU(),
+	}
+	if *minTime > 0 {
+		// Paper §II: vary the number of steps until the measurement runs
+		// long enough — at least 5 seconds in the paper.
+		stepper := func(n int) time.Duration {
+			pp := p
+			pp.Steps = n
+			oo := o
+			oo.Verify = false
+			r, err := advect.Run(kind, pp, oo)
+			if err != nil {
+				fatal(err)
+			}
+			return r.Elapsed
+		}
+		n, err := measure.CalibrateSteps(stepper, *minTime)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("calibrated step count: %d (target %v)\n", n, *minTime)
+		p.Steps = n
+	}
+	res, err := advect.Run(kind, p, o)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveCkpt != "" {
+		m, f, err := checkpoint.FromResult(p, res)
+		if err != nil {
+			fatal(err)
+		}
+		if err := checkpoint.SaveFile(*saveCkpt, m, f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s (t=%g)\n", *saveCkpt, m.T0)
+	}
+
+	fmt.Printf("implementation : %s (%s, %s)\n", kind, kind.Section(), kind.Describe())
+	fmt.Printf("grid           : %v, %d steps, 53 flops/point\n", p.N, p.Steps)
+	fmt.Printf("configuration  : %d tasks x %d threads", *tasks, *threads)
+	if kind.UsesGPU() {
+		fmt.Printf(", %dx%d blocks on %s", *blockX, *blockY, *gpuName)
+	}
+	if kind == advect.HybridBulkSync || kind == advect.HybridOverlap {
+		fmt.Printf(", box thickness %d", *thickness)
+	}
+	fmt.Println()
+	fmt.Printf("elapsed        : %v (%.2f GF functional)\n", res.Elapsed, res.GF)
+	if *verify {
+		fmt.Printf("error L2       : %.3e\n", res.Norms.L2)
+		fmt.Printf("error LInf     : %.3e\n", res.Norms.LInf)
+		fmt.Printf("mass drift     : %.3e\n", res.MassDrift)
+	}
+	keys := make([]string, 0, len(res.Stats))
+	for k := range res.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("stat %-14s: %g\n", k, res.Stats[k])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLocreportCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "locreport")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("locreport: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"215", "860", "4.00x", "hybrid-overlap"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("locreport output missing %q:\n%s", want, s)
+		}
+	}
+}

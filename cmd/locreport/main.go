@@ -1,0 +1,23 @@
+// Command locreport reproduces Figure 2: lines of code per implementation,
+// minus blank lines and comment-only lines — the paper's Fortran counts
+// alongside this reproduction's Go counts.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	e, err := harness.ByID("fig2")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locreport:", err)
+		os.Exit(1)
+	}
+	if err := e.Run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "locreport:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPaperfigsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "paperfigs")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Skipf("cannot build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, want := range []string{"table1", "fig12", "sectionVE", "ext-wide", "convergence"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("-list missing %q", want)
+		}
+	}
+
+	out, err = exec.Command(bin, "-exp", "sectionVE").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-exp sectionVE: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "GPU-resident best") {
+		t.Fatalf("sectionVE output wrong:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-exp", "fig10", "-csv").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-csv: %v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 6 || !strings.HasPrefix(lines[0], "cores,") {
+		t.Fatalf("csv output wrong:\n%s", out)
+	}
+
+	if out, err := exec.Command(bin, "-exp", "fig99").CombinedOutput(); err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,77 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation as text: Table I (coefficients), Table II (machines),
+// Figure 2 (lines of code), Figures 3-6 (CPU scaling and thread sweeps),
+// Figures 7-8 (GPU block sizes), Figures 9-12 (GPU cluster scaling and
+// CPU-GPU load balance), the Section V-E single-node anchors, and a
+// functional verification of all nine implementations.
+//
+// Usage:
+//
+//	paperfigs            # everything
+//	paperfigs -exp fig10 # one experiment
+//	paperfigs -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "run a single experiment by ID (default: all)")
+		csv   = flag.Bool("csv", false, "emit the figure's data as CSV (figure experiments only, requires -exp)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *csv {
+		if *expID == "" {
+			fmt.Fprintln(os.Stderr, "paperfigs: -csv requires -exp")
+			os.Exit(1)
+		}
+		series, xName, ok := harness.Data(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s has no series data (tables have none)\n", *expID)
+			os.Exit(1)
+		}
+		if err := stats.WriteCSV(os.Stdout, xName, series); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-10s %-12s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	exps := harness.All()
+	if *expID != "" {
+		e, err := harness.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.PaperRef)
+		fmt.Printf("paper: %s\n\n", e.Expect)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command report regenerates a Markdown reproduction report from the
+// current models: the §V-E calibration anchors, every figure's data as
+// Markdown tables, the Figure 2 line counts, and the extension
+// experiments. EXPERIMENTS.md in this repository is the curated version of
+// this output; run `report > /tmp/report.md` after changing any model or
+// calibration constant to see what moved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	out := flag.String("o", "", "write to this file instead of stdout")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	fmt.Fprintln(w, "# Reproduction report (generated)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Regenerated from the current models by `go run ./cmd/report`.")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Section V-E calibration anchors")
+	fmt.Fprintln(w)
+	if t, err := harness.SectionVE(); err == nil {
+		writeMarkdown(w, t)
+	}
+	fmt.Fprintln(w)
+
+	figures := []struct {
+		id, title string
+	}{
+		{"fig3", "Figure 3 — JaguarPF, best GF per implementation"},
+		{"fig4", "Figure 4 — Hopper II, best GF per implementation"},
+		{"fig5", "Figure 5 — JaguarPF, threads-per-task sweep"},
+		{"fig6", "Figure 6 — Hopper II, threads-per-task sweep"},
+		{"fig7", "Figure 7 — Lens GPU block sizes"},
+		{"fig8", "Figure 8 — Yona GPU block sizes"},
+		{"fig9", "Figure 9 — Lens, best GF per implementation"},
+		{"fig10", "Figure 10 — Yona, best GF per implementation"},
+		{"fig11", "Figure 11 — Lens hybrid-overlap combos"},
+		{"fig12", "Figure 12 — Yona hybrid-overlap combos"},
+	}
+	for _, f := range figures {
+		series, xName, ok := harness.Data(f.id)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "## %s\n\n", f.title)
+		writeMarkdown(w, stats.SeriesTable(xName, series))
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "## Figure 2 — lines of code")
+	fmt.Fprintln(w)
+	if e, err := harness.ByID("fig2"); err == nil {
+		var sb strings.Builder
+		if err := e.Run(&sb); err == nil {
+			fmt.Fprintln(w, "```")
+			fmt.Fprint(w, sb.String())
+			fmt.Fprintln(w, "```")
+		}
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Extension experiments")
+	fmt.Fprintln(w)
+	for _, e := range harness.Extensions() {
+		fmt.Fprintf(w, "### %s — %s\n\n", e.ID, e.Title)
+		var sb strings.Builder
+		if err := e.Run(&sb); err != nil {
+			fmt.Fprintf(w, "error: %v\n\n", err)
+			continue
+		}
+		fmt.Fprintln(w, "```")
+		fmt.Fprint(w, sb.String())
+		fmt.Fprintln(w, "```")
+		fmt.Fprintln(w)
+	}
+}
+
+// writeMarkdown renders a stats.Table as a Markdown table.
+func writeMarkdown(w io.Writer, t stats.Table) {
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	fmt.Fprint(w, "|")
+	for _, h := range t.Header {
+		fmt.Fprintf(w, " %s |", esc(h))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|")
+	for range t.Header {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprint(w, "|")
+		for _, c := range r {
+			fmt.Fprintf(w, " %s |", esc(c))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := stats.Table{Header: []string{"a", "b|c"}}
+	tb.AddRow("1", "2")
+	var sb strings.Builder
+	writeMarkdown(&sb, tb)
+	out := sb.String()
+	want := "| a | b\\|c |\n|---|---|\n| 1 | 2 |\n"
+	if out != want {
+		t.Fatalf("got:\n%q\nwant:\n%q", out, want)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSweepCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sweep")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-machine", "Yona", "-impl", "hybrid-overlap", "-cores", "12,24").CombinedOutput()
+	if err != nil {
+		t.Fatalf("sweep: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"Yona", "hybrid-overlap", "<-- best", "thickness"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, s)
+		}
+	}
+
+	if _, err := exec.Command(bin, "-machine", "Nonesuch").CombinedOutput(); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := exec.Command(bin, "-cores", "twelve").CombinedOutput(); err == nil {
+		t.Fatal("bad core list accepted")
+	}
+}

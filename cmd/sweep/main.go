@@ -1,0 +1,110 @@
+// Command sweep explores the performance model over tuning parameters:
+// for one machine and implementation it prints the modelled GF for every
+// combination of core count, threads per task, and (for the hybrid
+// implementations) box thickness, marking the best configuration per core
+// count — the raw material of the paper's "best of" figures.
+//
+// Usage:
+//
+//	sweep -machine Yona -impl hybrid-overlap
+//	sweep -machine JaguarPF -impl bulk -cores 192,1536,12288
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "Yona", "machine: JaguarPF, 'Hopper II', Lens, Yona")
+		implName    = flag.String("impl", "hybrid-overlap", "implementation name")
+		coresArg    = flag.String("cores", "", "comma-separated core counts (default: the figure sweep)")
+		blockX      = flag.Int("blockx", 0, "GPU block x (default: the machine's best block)")
+		blockY      = flag.Int("blocky", 0, "GPU block y")
+	)
+	flag.Parse()
+
+	m, err := advect.MachineByName(*machineName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := advect.ParseKind(*implName)
+	if err != nil {
+		fatal(err)
+	}
+	cores := harness.CoreCounts(m)
+	if *coresArg != "" {
+		cores = nil
+		for _, s := range strings.Split(*coresArg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad core count %q", s))
+			}
+			cores = append(cores, v)
+		}
+	}
+	bx, by := harness.BestBlock(m)
+	if *blockX > 0 {
+		bx = *blockX
+	}
+	if *blockY > 0 {
+		by = *blockY
+	}
+	thicks := []int{1}
+	if kind == advect.HybridBulkSync || kind == advect.HybridOverlap {
+		thicks = harness.Thicknesses()
+	}
+
+	t := stats.Table{Header: []string{"cores", "threads", "thickness", "step ms", "GF", "best"}}
+	for _, c := range cores {
+		type row struct {
+			threads, thick int
+			est            advect.Prediction
+		}
+		var rows []row
+		bestGF := 0.0
+		for _, th := range m.ThreadChoices {
+			if c%th != 0 {
+				continue
+			}
+			for _, w := range thicks {
+				e, err := advect.Predict(advect.PredictConfig{
+					M: m, Kind: kind, Cores: c, Threads: th,
+					BoxThickness: w, BlockX: bx, BlockY: by,
+				})
+				if err != nil {
+					continue
+				}
+				rows = append(rows, row{th, w, e})
+				if e.GF > bestGF {
+					bestGF = e.GF
+				}
+			}
+		}
+		for _, r := range rows {
+			mark := ""
+			if r.est.GF == bestGF {
+				mark = "<-- best"
+			}
+			t.AddRow(fmt.Sprint(c), fmt.Sprint(r.threads), fmt.Sprint(r.thick),
+				fmt.Sprintf("%.3f", r.est.StepSec*1e3),
+				fmt.Sprintf("%.1f", r.est.GF), mark)
+		}
+	}
+	fmt.Printf("machine %s, implementation %s (%s), block %dx%d\n\n",
+		m.Name, kind, kind.Describe(), bx, by)
+	t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

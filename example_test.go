@@ -1,0 +1,72 @@
+package advect_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example integrates the paper's test case with the baseline
+// implementation and checks the result against the analytic solution.
+func Example() {
+	p := advect.NewProblem(24, 12)
+	res, err := advect.Run(advect.SingleTask, p, advect.Options{Threads: 2, Verify: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("mass conserved: %v\n", res.MassDrift < 1e-10)
+	fmt.Printf("error below 10%% of peak: %v\n", res.Norms.LInf < 0.10)
+	// Output:
+	// mass conserved: true
+	// error below 10% of peak: true
+}
+
+// ExampleRun_hybridOverlap runs the paper's best implementation (§IV-I)
+// and shows that it lands on exactly the same answer as the baseline.
+func ExampleRun_hybridOverlap() {
+	p := advect.NewProblem(16, 4)
+	base, _ := advect.Run(advect.SingleTask, p, advect.Options{})
+	hyb, err := advect.Run(advect.HybridOverlap, p, advect.Options{
+		Tasks: 2, Threads: 2, BoxThickness: 1, BlockX: 8, BlockY: 4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	maxDiff := 0.0
+	for k := 0; k < 16; k++ {
+		for j := 0; j < 16; j++ {
+			for i := 0; i < 16; i++ {
+				d := base.Final.At(i, j, k) - hyb.Final.At(i, j, k)
+				if d < 0 {
+					d = -d
+				}
+				if d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+	}
+	fmt.Println("agrees with the baseline to roundoff:", maxDiff < 1e-12)
+	// Output:
+	// agrees with the baseline to roundoff: true
+}
+
+// ExamplePredict estimates full-scale performance on one of the paper's
+// machines — here the Section V-E headline: the full-overlap hybrid
+// implementation on one Yona node approaches GPU-resident throughput.
+func ExamplePredict() {
+	yona, _ := advect.MachineByName("Yona")
+	resident, _ := advect.Predict(advect.PredictConfig{
+		M: yona, Kind: advect.GPUResident, BlockX: 32, BlockY: 13,
+	})
+	hybrid, _ := advect.Predict(advect.PredictConfig{
+		M: yona, Kind: advect.HybridOverlap, Cores: 12, Threads: 12,
+		BoxThickness: 1, BlockX: 32, BlockY: 8,
+	})
+	fmt.Printf("hybrid overlap recovers >90%% of GPU-resident: %v\n",
+		hybrid.GF > 0.9*resident.GF)
+	// Output:
+	// hybrid overlap recovers >90% of GPU-resident: true
+}

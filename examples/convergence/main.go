@@ -1,0 +1,65 @@
+// Convergence: validate the numerics behind the whole study. The paper's
+// method is O(Δ²) for a fixed simulated time (§II); this example advects a
+// Gaussian over the same physical distance on a ladder of resolutions and
+// prints the observed convergence order between consecutive rungs — it
+// should approach 2. It also demonstrates the exact-shift property at
+// Courant number 1, where Lax-Wendroff is error-free.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/grid"
+)
+
+func main() {
+	c := advect.Velocity{X: 0.8, Y: 0.4, Z: 0.2}
+
+	fmt.Println("grid      steps   L2 error      LInf error    observed order")
+	type row struct {
+		n   int
+		l2  float64
+		inf float64
+	}
+	var rows []row
+	for _, n := range []int{16, 32, 64} {
+		// Fixed fraction of a domain crossing: steps scale with n so the
+		// simulated time (in domain units) is constant.
+		steps := n / 2
+		p := advect.Problem{
+			N: advect.Dims{X: n, Y: n, Z: n}, C: c, Steps: steps,
+			Wave: grid.Gaussian{
+				Center: [3]float64{float64(n) / 2, float64(n) / 2, float64(n) / 2},
+				Sigma:  float64(n) / 8,
+			},
+		}
+		res, err := advect.Run(advect.SingleTask, p, advect.Options{Threads: 4, Verify: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{n, res.Norms.L2, res.Norms.LInf})
+		order := ""
+		if len(rows) > 1 {
+			prev := rows[len(rows)-2]
+			// Error ∝ h^p with h ∝ 1/n: p = log(e1/e2)/log(n2/n1).
+			p := math.Log(prev.l2/res.Norms.L2) / math.Log(float64(n)/float64(prev.n))
+			order = fmt.Sprintf("%.2f", p)
+		}
+		fmt.Printf("%4d^3  %6d   %.4e    %.4e    %s\n", n, steps, res.Norms.L2, res.Norms.LInf, order)
+	}
+
+	// Courant number exactly 1 in every dimension: the stencil degenerates
+	// to a pure shift and the numerical solution is exact.
+	p := advect.Problem{N: advect.Dims{X: 24, Y: 24, Z: 24}, C: advect.Velocity{X: 1, Y: 1, Z: 1}, Steps: 24}
+	res, err := advect.Run(advect.SingleTask, p, advect.Options{Verify: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCourant number 1 (pure shift): LInf error after a full domain crossing = %.2e\n",
+		res.Norms.LInf)
+	fmt.Println("second-order convergence and the exact-shift limit validate the Table I")
+	fmt.Println("coefficients end to end.")
+}

@@ -1,0 +1,80 @@
+// GPU overlap: walk through the paper's five GPU implementations
+// (§IV-E … §IV-I) on one simulated node and show where the time goes —
+// the story of Section V-E. The bulk-synchronous GPU+MPI implementation
+// drowns in CPU-GPU communication; streams hide some of it; the hybrid
+// box decomposition with full overlap recovers nearly all of the
+// GPU-resident throughput because a thin CPU shell decouples MPI traffic
+// from PCIe traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	p := advect.NewProblem(48, 10)
+
+	fmt.Println("functional runs on the simulated Tesla C2050 (48^3 problem):")
+	kinds := []advect.Kind{
+		advect.GPUResident, advect.GPUBulkSync, advect.GPUStreams,
+		advect.HybridBulkSync, advect.HybridOverlap,
+	}
+	for _, k := range kinds {
+		o := advect.Options{
+			Tasks: 1, Threads: 2,
+			BlockX: 16, BlockY: 8,
+			BoxThickness: 1,
+			GPU:          core.GPUC2050,
+			Verify:       true,
+		}
+		res, err := advect.Run(k, p, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s (%s)  sim step %7.3f ms  sim %6.1f GF  LInf err %.1e\n",
+			k, k.Section(),
+			res.Stats["sim.seconds"]/float64(p.Steps)*1e3,
+			res.Stats["sim.gf"], res.Norms.LInf)
+	}
+
+	fmt.Println("\nmodelled at full 420^3 scale on one Yona node (paper §V-E):")
+	yona, err := advect.MachineByName("Yona")
+	if err != nil {
+		log.Fatal(err)
+	}
+	paper := map[advect.Kind]string{
+		advect.GPUResident:   "86",
+		advect.GPUBulkSync:   "24",
+		advect.GPUStreams:    "35",
+		advect.HybridOverlap: "82",
+	}
+	for _, k := range kinds {
+		bestGF := 0.0
+		var bestCfg advect.PredictConfig
+		for _, t := range yona.ThreadChoices {
+			for _, w := range []int{1, 2, 3, 5} {
+				cfg := advect.PredictConfig{
+					M: yona, Kind: k, Cores: 12, Threads: t,
+					BoxThickness: w, BlockX: 32, BlockY: 8,
+				}
+				e, err := advect.Predict(cfg)
+				if err == nil && e.GF > bestGF {
+					bestGF, bestCfg = e.GF, cfg
+				}
+			}
+		}
+		ref := paper[k]
+		if ref == "" {
+			ref = "-"
+		}
+		fmt.Printf("  %-15s best %6.1f GF (threads %2d, width %d)   paper: %s\n",
+			k, bestGF, bestCfg.Threads, bestCfg.BoxThickness, ref)
+	}
+	fmt.Println("\nthe hybrid full-overlap implementation nearly matches GPU-resident:")
+	fmt.Println("the CPUs' thin shell is not about load balance — it decouples MPI")
+	fmt.Println("communication from CPU-GPU communication (paper §V-E, §VI).")
+}

@@ -1,0 +1,75 @@
+// Plume: the paper's motivating scenario in miniature. Atmospheric
+// dynamics advects tracers — here a pollutant plume released off-center in
+// a periodic domain is transported by a constant wind, distributed over
+// several MPI tasks with the bulk-synchronous implementation (§IV-B), and
+// the run reports how the numerical plume tracks the true one over a full
+// domain crossing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+func main() {
+	const n = 40
+	// A north-easterly "wind": distinct components so all 27 stencil
+	// coefficients are exercised.
+	wind := advect.Velocity{X: 1.0, Y: 0.5, Z: 0.25}
+
+	// Release the plume at a quarter of the domain, 2.5 points wide.
+	p := advect.Problem{
+		N:     advect.Dims{X: n, Y: n, Z: n},
+		C:     wind,
+		Steps: n, // at ν = 1/|c|max the plume crosses the domain once in x
+		Wave: grid.Gaussian{
+			Center: [3]float64{n / 4, n / 4, n / 2},
+			Sigma:  2.5,
+		},
+	}
+
+	fmt.Printf("advecting a plume through a %d^3 periodic domain with wind %+v\n", n, wind)
+	for _, tasks := range []int{1, 4, 8} {
+		res, err := advect.Run(advect.BulkSync, p, advect.Options{
+			Tasks: tasks, Threads: 2, Verify: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d tasks: %8v  L2 %.3e  LInf %.3e  mass drift %.1e  (%.0f MPI msgs)\n",
+			tasks, res.Elapsed, res.Norms.L2, res.Norms.LInf, res.MassDrift,
+			res.Stats["mpi.messages"])
+	}
+
+	// The same run with the nonblocking-overlap implementation must land
+	// on the same answer bit for bit up to roundoff: overlap changes the
+	// schedule, never the mathematics.
+	a, err := advect.Run(advect.BulkSync, p, advect.Options{Tasks: 8, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := advect.Run(advect.NonblockingOverlap, p, advect.Options{Tasks: 8, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff := grid.DiffNorms(a.Final, b.Final)
+	fmt.Printf("\nbulk vs nonblocking-overlap final states differ by LInf %.1e\n", diff.LInf)
+
+	// Watch the plume: the z = n/2 slice before and after a half crossing.
+	initial := grid.NewField(p.N, 1)
+	grid.FillGaussian(initial, p.Wave)
+	fmt.Println()
+	stats.Heatmap(os.Stdout, "plume at t=0 (z = n/2 slice)", n, n, func(i, j int) float64 {
+		return initial.At(i, j, n/2)
+	})
+	fmt.Println()
+	stats.Heatmap(os.Stdout, fmt.Sprintf("plume after %d steps", p.Steps), n, n, func(i, j int) float64 {
+		return a.Final.At(i, j, (n/2+p.Steps/4)%n) // follow the wave in z
+	})
+	fmt.Println("\nthe wave has crossed the periodic domain diagonally, shape intact.")
+}

@@ -1,0 +1,83 @@
+// Tracing: drive the simulated CUDA device directly through the gpusim
+// API — two streams, asynchronous copies, events — and draw the resulting
+// timeline as a Gantt chart, the picture behind the paper's Figure-9/10
+// gaps. The bulk schedule serializes PCIe traffic against the interior
+// kernel; the stream schedule hides it, exactly like implementations
+// §IV-F vs §IV-G.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/gpusim"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+func main() {
+	interior := gpusim.StencilLaunch(416, 416, 418, 32, 8)
+	facePts := 420*420*420 - 418*418*418
+	halo := make([]float64, facePts)
+
+	run := func(overlap bool) *vtime.Trace {
+		dev := gpusim.NewDevice(gpusim.TeslaC2050(), gpusim.PCIeGen2())
+		tr := vtime.NewTrace()
+		dev.SetTrace(tr)
+		s1 := dev.NewStream("interior")
+		s2 := s1
+		if overlap {
+			s2 = dev.NewStream("boundary")
+		}
+		haloBuf := dev.Alloc(facePts)
+		outBuf := dev.Alloc(facePts)
+
+		var host vtime.Time
+		for step := 0; step < 2; step++ {
+			if overlap {
+				// Stream schedule (§IV-G): interior first, boundary chain
+				// behind it on the second stream.
+				host = dev.Launch(host, s1, "interior", interior, func() {})
+				host = dev.MemcpyAsync(host, s2, gpusim.HostToDevice, haloBuf, halo)
+				host = dev.Launch(host, s2, "faces", gpusim.StencilLaunch(420, 420, 2, 32, 8), func() {})
+				host = dev.MemcpyAsync(host, s2, gpusim.DeviceToHost, outBuf, halo)
+			} else {
+				// Bulk schedule (§IV-F): everything serialized.
+				host = dev.Memcpy(host, gpusim.HostToDevice, haloBuf, halo)
+				host = dev.Launch(host, s1, "faces", gpusim.StencilLaunch(420, 420, 2, 32, 8), func() {})
+				host = dev.Launch(host, s1, "interior", interior, func() {})
+				host = s1.Synchronize(host)
+				host = dev.Memcpy(host, gpusim.DeviceToHost, outBuf, halo)
+			}
+			host = dev.Synchronize(host, s1, s2)
+		}
+		return tr
+	}
+
+	for _, mode := range []struct {
+		name    string
+		overlap bool
+	}{
+		{"bulk schedule (everything serialized, like IV-F)", false},
+		{"stream schedule (PCIe + faces hidden behind interior, like IV-G)", true},
+	} {
+		tr := run(mode.overlap)
+		var spans []stats.GanttSpan
+		for _, s := range tr.Spans() {
+			spans = append(spans, stats.GanttSpan{
+				Lane: s.Lane, Label: s.Label,
+				Start: s.Start.Seconds(), End: s.End.Seconds(),
+			})
+		}
+		stats.Gantt(os.Stdout, mode.name, spans, 72)
+		_, end := tr.MakeSpan()
+		ov := tr.Overlap("gpu.interior", "pcie.h2d") +
+			tr.Overlap("gpu.interior", "pcie.d2h") +
+			tr.Overlap("gpu.interior", "gpu.boundary")
+		fmt.Printf("  makespan %.2f ms, time overlapped with the interior kernel: %.2f ms\n\n",
+			end.Seconds()*1e3, ov.Seconds()*1e3)
+	}
+	fmt.Println("the stream schedule's makespan is shorter by almost exactly the")
+	fmt.Println("overlapped time — hiding communication is free throughput, which is")
+	fmt.Println("the paper's thesis in one picture.")
+}

@@ -1,0 +1,178 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	_ "repro/internal/impl"
+)
+
+func testField(n grid.Dims) *grid.Field {
+	f := grid.NewField(n, 1)
+	f.Fill(func(i, j, k int) float64 { return float64(i) + 0.5*float64(j) - 0.25*float64(k) })
+	return f
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n := grid.Dims{X: 7, Y: 5, Z: 6}
+	m := Meta{N: n, C: grid.Velocity{X: 1, Y: 0.5, Z: 0.25}, Nu: 1, T0: 3.5, StepsDone: 7}
+	f := testField(n)
+	var buf bytes.Buffer
+	if err := Save(&buf, m, f); err != nil {
+		t.Fatal(err)
+	}
+	m2, f2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatalf("meta %+v, want %+v", m2, m)
+	}
+	if nm := grid.DiffNorms(f, f2); nm.LInf != 0 {
+		t.Fatalf("field differs: %+v", nm)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	n := grid.Uniform(4)
+	var buf bytes.Buffer
+	if err := Save(&buf, Meta{N: n, Nu: 1}, testField(n)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip one payload byte: checksum must catch it.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	if _, _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+
+	// Truncation.
+	if _, _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+
+	// Wrong magic.
+	bad2 := append([]byte("NOTMAGIC"), data[8:]...)
+	if _, _, err := Load(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestSaveFieldMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := Save(&buf, Meta{N: grid.Uniform(5)}, testField(grid.Uniform(4)))
+	if err == nil {
+		t.Fatal("mismatched field accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	n := grid.Uniform(6)
+	m := Meta{N: n, C: grid.Velocity{X: 1}, Nu: 1, StepsDone: 2, T0: 2}
+	if err := SaveFile(path, m, testField(n)); err != nil {
+		t.Fatal(err)
+	}
+	m2, f2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m || f2.N != n {
+		t.Fatalf("round trip failed: %+v", m2)
+	}
+	if _, _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRestartBitwiseIdentical is the point of the package: integrating 20
+// steps straight must equal integrating 10, checkpointing, and resuming
+// for 10 more — bit for bit, for both a CPU and a GPU implementation.
+func TestRestartBitwiseIdentical(t *testing.T) {
+	for _, kind := range []core.Kind{core.SingleTask, core.BulkSync, core.GPUResident} {
+		o := core.Options{Tasks: 2, Threads: 2, BlockX: 8, BlockY: 4}
+		if !kind.UsesMPI() {
+			o.Tasks = 1
+		}
+		runK := func(p core.Problem) *core.Result {
+			t.Helper()
+			r, err := core.New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run(p, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+
+		straight := runK(core.DefaultProblem(12, 20))
+
+		first := runK(core.DefaultProblem(12, 10))
+		m, f, err := FromResult(core.DefaultProblem(12, 10), first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Through the serialized format, as a real restart would go.
+		var buf bytes.Buffer
+		if err := Save(&buf, m, f); err != nil {
+			t.Fatal(err)
+		}
+		m2, f2, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed := runK(Resume(m2, f2, 10))
+
+		if nm := grid.DiffNorms(straight.Final, resumed.Final); nm.LInf != 0 {
+			t.Fatalf("%v: restart diverged: LInf %g", kind, nm.LInf)
+		}
+	}
+}
+
+func TestResumeCarriesTime(t *testing.T) {
+	m := Meta{N: grid.Uniform(8), C: grid.Velocity{X: 1}, Nu: 1, T0: 5, StepsDone: 5}
+	p := Resume(m, testField(m.N), 3)
+	np, err := p.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.T0 != 5 || np.Steps != 3 || np.Initial == nil {
+		t.Fatalf("resume problem wrong: %+v", np)
+	}
+}
+
+func TestVerifyAcrossRestart(t *testing.T) {
+	// The analytic comparison must keep working after a restart: the
+	// resumed run's norms are computed at T0 + nu*steps.
+	r, err := core.New(core.SingleTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := core.DefaultProblem(24, 6)
+	res1, err := r.Run(p1, core.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, f, err := FromResult(p1, res1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.Run(Resume(m, f, 6), core.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error grows with time but must stay the same order of magnitude.
+	if res2.Norms.L2 <= res1.Norms.L2 {
+		t.Fatalf("error should grow: %g -> %g", res1.Norms.L2, res2.Norms.L2)
+	}
+	if res2.Norms.L2 > 20*res1.Norms.L2 {
+		t.Fatalf("restart verification broken: %g -> %g", res1.Norms.L2, res2.Norms.L2)
+	}
+}

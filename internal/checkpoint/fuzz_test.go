@@ -1,0 +1,36 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// FuzzLoad guards the checkpoint parser against arbitrary input: it must
+// return an error, never panic or allocate absurdly, whatever the bytes.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid checkpoint and a few mutations.
+	n := grid.Uniform(3)
+	var buf bytes.Buffer
+	fld := grid.NewField(n, 1)
+	fld.Fill(func(i, j, k int) float64 { return float64(i + j + k) })
+	if err := Save(&buf, Meta{N: n, Nu: 1}, fld); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("ADVCKPT1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, fld, err := Load(bytes.NewReader(data))
+		if err == nil {
+			// Anything accepted must be self-consistent.
+			if fld == nil || fld.N != m.N {
+				t.Fatalf("accepted checkpoint inconsistent: %+v", m)
+			}
+		}
+	})
+}

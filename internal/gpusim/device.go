@@ -1,0 +1,340 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// Device is one simulated GPU. It owns device memory, constant memory, a
+// PCIe link, and the virtual-time resources that serialize what the real
+// hardware serializes: the kernel engine (on devices without concurrent
+// kernels) and the DMA engines. A Device may be shared by several host
+// goroutines (the paper runs multiple MPI tasks per GPU); its methods are
+// safe for concurrent use.
+type Device struct {
+	Props Props
+	Link  Link
+
+	mu        sync.Mutex
+	engine    *vtime.Resource // kernel serialization when !ConcurrentKernels
+	dmaH2D    *vtime.Resource
+	dmaD2H    *vtime.Resource
+	trace     *vtime.Trace
+	constMem  []float64
+	allocated int64
+	streamSeq int
+
+	// Stats
+	Kernels   int
+	CopiesH2D int
+	CopiesD2H int
+	BytesH2D  int64
+	BytesD2H  int64
+}
+
+// NewDevice creates a device with the given properties and PCIe link.
+func NewDevice(p Props, l Link) *Device {
+	d := &Device{
+		Props:  p,
+		Link:   l,
+		engine: vtime.NewResource(p.Name + ".engine"),
+		dmaH2D: vtime.NewResource(p.Name + ".dma0"),
+	}
+	if p.CopyEngines >= 2 {
+		d.dmaD2H = vtime.NewResource(p.Name + ".dma1")
+	} else {
+		d.dmaD2H = d.dmaH2D // half duplex: one engine serves both directions
+	}
+	return d
+}
+
+// SetTrace installs a span recorder (nil disables tracing).
+func (d *Device) SetTrace(t *vtime.Trace) {
+	d.mu.Lock()
+	d.trace = t
+	d.mu.Unlock()
+}
+
+func (d *Device) traceAdd(lane, label string, start, end vtime.Time) {
+	d.mu.Lock()
+	t := d.trace
+	d.mu.Unlock()
+	t.Add(lane, label, start, end)
+}
+
+// HostClock tracks a host goroutine's virtual time across device calls.
+// It is a convenience for threading the host time through the Memcpy and
+// Launch APIs; Set never moves the clock backwards.
+type HostClock struct {
+	t vtime.Time
+}
+
+// Now returns the current host time.
+func (h *HostClock) Now() vtime.Time { return h.t }
+
+// Set advances the clock to t (no-op if t is earlier).
+func (h *HostClock) Set(t vtime.Time) {
+	if t > h.t {
+		h.t = t
+	}
+}
+
+// Advance adds a duration of host-side work (e.g. CPU compute or MPI time
+// in a hybrid implementation) to the clock.
+func (h *HostClock) Advance(d vtime.Time) {
+	if d > 0 {
+		h.t += d
+	}
+}
+
+// Buffer is an allocation in device global memory. Host code moves data in
+// and out only through Memcpy*; kernel bodies access Data directly.
+type Buffer struct {
+	dev  *Device
+	data []float64
+}
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Data exposes the device-resident storage for kernel bodies. Host-side
+// code must use the Memcpy family instead; tests may inspect it.
+func (b *Buffer) Data() []float64 { return b.data }
+
+// Alloc reserves n float64 elements of device global memory. It panics if
+// the device capacity would be exceeded, the moral equivalent of
+// cudaErrorMemoryAllocation — the paper sizes the 420³ problem to just fit
+// a single GPU, so capacity is a real constraint.
+func (d *Device) Alloc(n int) *Buffer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bytes := int64(n) * 8
+	if d.allocated+bytes > d.Props.GlobalMemBytes {
+		panic(fmt.Sprintf("gpusim: %s out of memory: %d + %d > %d bytes",
+			d.Props.Name, d.allocated, bytes, d.Props.GlobalMemBytes))
+	}
+	d.allocated += bytes
+	return &Buffer{dev: d, data: make([]float64, n)}
+}
+
+// Free releases a buffer's reservation.
+func (d *Device) Free(b *Buffer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.allocated -= int64(len(b.data)) * 8
+	b.data = nil
+}
+
+// AllocatedBytes returns the current device-memory reservation.
+func (d *Device) AllocatedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocated
+}
+
+// LoadConstant stores vals in constant memory (the stencil coefficients in
+// the paper's kernels) and returns the host time after the upload.
+func (d *Device) LoadConstant(host vtime.Time, vals []float64) vtime.Time {
+	d.mu.Lock()
+	d.constMem = append([]float64(nil), vals...)
+	d.mu.Unlock()
+	start, end := d.dmaH2D.Acquire(host, vtime.Time(d.Link.CopyTime(len(vals)*8)))
+	d.traceAdd("pcie", "constant upload", start, end)
+	return end
+}
+
+// Constant returns the constant-memory contents for kernel bodies.
+func (d *Device) Constant() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.constMem
+}
+
+// Stream is a CUDA stream: operations issued to one stream execute in
+// order; operations in different streams may overlap.
+type Stream struct {
+	dev   *Device
+	name  string
+	mu    sync.Mutex
+	avail vtime.Time
+}
+
+// NewStream creates a stream. name appears in traces.
+func (d *Device) NewStream(name string) *Stream {
+	d.mu.Lock()
+	d.streamSeq++
+	if name == "" {
+		name = fmt.Sprintf("stream%d", d.streamSeq-1)
+	}
+	d.mu.Unlock()
+	return &Stream{dev: d, name: name}
+}
+
+func (s *Stream) ready(host vtime.Time) vtime.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return vtime.Max(host, s.avail)
+}
+
+func (s *Stream) extend(end vtime.Time) {
+	s.mu.Lock()
+	if end > s.avail {
+		s.avail = end
+	}
+	s.mu.Unlock()
+}
+
+// Synchronize blocks the host until all work issued to the stream has
+// completed; it returns the host time after the wait (cudaStreamSynchronize).
+func (s *Stream) Synchronize(host vtime.Time) vtime.Time {
+	return s.ready(host)
+}
+
+// Event marks a point in a stream's execution (cudaEventRecord).
+type Event struct {
+	at vtime.Time
+}
+
+// Record captures the stream's current completion frontier.
+func (s *Stream) Record(host vtime.Time) Event {
+	return Event{at: s.ready(host)}
+}
+
+// WaitEvent makes subsequent work in the stream wait for e
+// (cudaStreamWaitEvent).
+func (s *Stream) WaitEvent(e Event) {
+	s.extend(e.at)
+}
+
+// At returns the virtual time the event marks.
+func (e Event) At() vtime.Time { return e.at }
+
+// ElapsedSince returns the simulated seconds between two events, the
+// analog of cudaEventElapsedTime — how real CUDA codes time kernels.
+func (e Event) ElapsedSince(start Event) float64 {
+	return (e.at - start.at).Seconds()
+}
+
+// Direction labels a PCIe transfer.
+type Direction int
+
+const (
+	// HostToDevice uploads host data into a device buffer.
+	HostToDevice Direction = iota
+	// DeviceToHost downloads a device buffer into host memory.
+	DeviceToHost
+)
+
+func (dir Direction) String() string {
+	if dir == HostToDevice {
+		return "H2D"
+	}
+	return "D2H"
+}
+
+// Memcpy performs a synchronous transfer between host slice and device
+// buffer (cudaMemcpy): the host blocks until the copy completes. It returns
+// the host time after completion. dst/src element counts must match.
+func (d *Device) Memcpy(host vtime.Time, dir Direction, devBuf *Buffer, hostBuf []float64) vtime.Time {
+	return d.copy(host, nil, dir, devBuf, hostBuf, true)
+}
+
+// MemcpyAsync enqueues a transfer on a stream (cudaMemcpyAsync): it is
+// ordered after prior work in the stream and the host continues
+// immediately. The returned time is the host time after the (cheap) enqueue.
+// The data movement itself is performed eagerly so the simulation stays
+// functional; callers must respect stream ordering for correctness, as CUDA
+// programs must.
+func (d *Device) MemcpyAsync(host vtime.Time, s *Stream, dir Direction, devBuf *Buffer, hostBuf []float64) vtime.Time {
+	return d.copy(host, s, dir, devBuf, hostBuf, false)
+}
+
+func (d *Device) copy(host vtime.Time, s *Stream, dir Direction, devBuf *Buffer, hostBuf []float64, sync bool) vtime.Time {
+	if devBuf.dev != d {
+		panic("gpusim: buffer belongs to a different device")
+	}
+	if len(hostBuf) != len(devBuf.data) {
+		panic(fmt.Sprintf("gpusim: memcpy size mismatch: host %d, device %d",
+			len(hostBuf), len(devBuf.data)))
+	}
+	// Functional move.
+	if dir == HostToDevice {
+		copy(devBuf.data, hostBuf)
+	} else {
+		copy(hostBuf, devBuf.data)
+	}
+	bytes := len(hostBuf) * 8
+	dma := d.dmaH2D
+	lane := "pcie.h2d"
+	if dir == DeviceToHost {
+		dma = d.dmaD2H
+		lane = "pcie.d2h"
+	}
+	ready := host
+	if s != nil {
+		ready = s.ready(host)
+	}
+	start, end := dma.Acquire(ready, vtime.Time(d.Link.CopyTime(bytes)))
+	d.traceAdd(lane, fmt.Sprintf("%s %dB", dir, bytes), start, end)
+	d.mu.Lock()
+	if dir == HostToDevice {
+		d.CopiesH2D++
+		d.BytesH2D += int64(bytes)
+	} else {
+		d.CopiesD2H++
+		d.BytesD2H += int64(bytes)
+	}
+	d.mu.Unlock()
+	if s != nil {
+		s.extend(end)
+	}
+	if sync {
+		return end
+	}
+	return host // async: host proceeds immediately
+}
+
+// Launch enqueues a kernel on a stream. body runs immediately (functional
+// execution); the kernel's device time is modelled by KernelTime and
+// ordered after prior work in the stream (and serialized with all other
+// kernels on devices without concurrent-kernel support). The returned time
+// is the host time after the launch call — the host pays only the driver
+// launch overhead, which is the whole point of asynchronous kernels.
+func (d *Device) Launch(host vtime.Time, s *Stream, name string, l Launch, body func()) vtime.Time {
+	if s == nil {
+		panic("gpusim: Launch requires a stream")
+	}
+	dur, err := KernelTime(d.Props, l)
+	if err != nil {
+		panic(err)
+	}
+	body()
+	hostAfter := host + vtime.Time(d.Props.KernelLaunchSec)
+	ready := s.ready(hostAfter)
+	var start, end vtime.Time
+	if d.Props.ConcurrentKernels {
+		start = ready
+		end = start + vtime.Time(dur)
+	} else {
+		start, end = d.engine.Acquire(ready, vtime.Time(dur))
+	}
+	s.extend(end)
+	d.traceAdd("gpu."+s.name, name, start, end)
+	d.mu.Lock()
+	d.Kernels++
+	d.mu.Unlock()
+	return hostAfter
+}
+
+// Synchronize blocks the host until every stream passed has drained
+// (cudaDeviceSynchronize over the streams in use) and returns the host time
+// after the wait.
+func (d *Device) Synchronize(host vtime.Time, streams ...*Stream) vtime.Time {
+	t := host
+	for _, s := range streams {
+		t = vtime.Max(t, s.ready(host))
+	}
+	return t
+}

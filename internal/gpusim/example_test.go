@@ -1,0 +1,56 @@
+package gpusim_test
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// Example reproduces the heart of the paper's Figure 8 in four lines: the
+// modelled throughput of the paper's Yona block (32×8) on the Tesla C2050.
+func Example() {
+	p := gpusim.TeslaC2050()
+	l := gpusim.StencilLaunch(420, 420, 420, 32, 8)
+	gf, err := gpusim.KernelGF(p, l)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("paper's Yona block within 15%% of 86 GF: %v\n", gf > 86*0.85 && gf < 86*1.15)
+	// Output:
+	// paper's Yona block within 15% of 86 GF: true
+}
+
+// ExampleDevice shows the stream semantics the overlap implementations
+// rely on: work in one stream runs concurrently with another stream's
+// transfers, and Synchronize returns the joined completion time.
+func ExampleDevice() {
+	dev := gpusim.NewDevice(gpusim.TeslaC2050(), gpusim.PCIeGen2())
+	compute := dev.NewStream("compute")
+	copies := dev.NewStream("copies")
+
+	buf := dev.Alloc(1 << 20)
+	host := dev.Launch(0, compute, "kernel", gpusim.StencilLaunch(420, 420, 420, 32, 8), func() {})
+	host = dev.MemcpyAsync(host, copies, gpusim.HostToDevice, buf, make([]float64, 1<<20))
+
+	kernelDone := compute.Synchronize(host)
+	copyDone := copies.Synchronize(host)
+	all := dev.Synchronize(host, compute, copies)
+	fmt.Println("copy hidden under the kernel:", copyDone < kernelDone && all == kernelDone)
+	// Output:
+	// copy hidden under the kernel: true
+}
+
+// ExampleOccupancy mirrors the CUDA occupancy calculator for the paper's
+// two block choices.
+func ExampleOccupancy() {
+	c1060 := gpusim.TeslaC1060()
+	lens := gpusim.StencilLaunch(420, 420, 420, 32, 11) // paper's Lens block
+	fmt.Printf("Lens 32x11 occupancy: %.2f\n", gpusim.Occupancy(c1060, lens))
+	c2050 := gpusim.TeslaC2050()
+	yona := gpusim.StencilLaunch(420, 420, 420, 32, 8) // paper's Yona block
+	fmt.Printf("Yona 32x8 occupancy: %.2f\n", gpusim.Occupancy(c2050, yona))
+	// Output:
+	// Lens 32x11 occupancy: 0.86
+	// Yona 32x8 occupancy: 0.89
+}

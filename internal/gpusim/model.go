@@ -1,0 +1,209 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Launch describes one kernel launch for the performance model: a grid of
+// two-dimensional thread blocks, each with BlockX×BlockY interior threads
+// plus a ring of halo threads of width HaloX/HaloY that only perform memory
+// operations (the Micikevicius tiling the paper builds on). Each thread
+// iterates over ZSlabs points in z.
+type Launch struct {
+	GridX, GridY   int // blocks in x and y
+	BlockX, BlockY int // interior threads per block
+	HaloX, HaloY   int // halo-thread ring widths
+	ZSlabs         int // z extent each thread iterates over
+
+	Points        int     // interior points actually computed
+	FlopsPerPoint int     // arithmetic per computed point
+	BytesPerPoint float64 // ideal global-memory traffic per point (R+W)
+}
+
+// ThreadsPerBlock returns the full block population, halo threads included.
+func (l Launch) ThreadsPerBlock() int {
+	return (l.BlockX + 2*l.HaloX) * (l.BlockY + 2*l.HaloY)
+}
+
+// CoveredPoints returns the points swept by the launch including the
+// quantization waste of partial blocks at the domain edges.
+func (l Launch) CoveredPoints() int {
+	return l.GridX * l.BlockX * l.GridY * l.BlockY * l.ZSlabs
+}
+
+// SharedMemPerBlock returns the tile footprint in bytes: one xy slab of
+// float64 per block, halo included.
+func (l Launch) SharedMemPerBlock() int {
+	return l.ThreadsPerBlock() * 8
+}
+
+// Validate reports whether the launch fits the device.
+func (l Launch) Validate(p Props) error {
+	if l.BlockX <= 0 || l.BlockY <= 0 || l.GridX <= 0 || l.GridY <= 0 || l.ZSlabs <= 0 {
+		return fmt.Errorf("gpusim: non-positive launch geometry %+v", l)
+	}
+	if tpb := l.ThreadsPerBlock(); tpb > p.MaxThreadsPerBlock {
+		return fmt.Errorf("gpusim: %d threads per block exceeds %s limit %d",
+			tpb, p.Name, p.MaxThreadsPerBlock)
+	}
+	if l.SharedMemPerBlock() > p.SharedMemPerSM {
+		return fmt.Errorf("gpusim: %d B shared memory per block exceeds %s SM capacity %d",
+			l.SharedMemPerBlock(), p.Name, p.SharedMemPerSM)
+	}
+	return nil
+}
+
+// Occupancy returns the fraction of the SM's thread slots an infinite grid
+// of these blocks would keep resident, limited by threads, blocks, and
+// shared memory per SM.
+func Occupancy(p Props, l Launch) float64 {
+	tpb := l.ThreadsPerBlock()
+	blocks := p.MaxThreadsPerSM / tpb
+	if b := p.SharedMemPerSM / l.SharedMemPerBlock(); b < blocks {
+		blocks = b
+	}
+	if blocks > p.MaxBlocksPerSM {
+		blocks = p.MaxBlocksPerSM
+	}
+	if blocks < 1 {
+		return 0
+	}
+	return float64(blocks*tpb) / float64(p.MaxThreadsPerSM)
+}
+
+// KernelTime returns the modelled execution duration of the launch on a
+// device with properties p, in seconds. It is a roofline of the
+// double-precision pipeline and the memory system, degraded by four
+// structural inefficiencies:
+//
+//   - warp padding: blocks whose population is not a warp multiple waste
+//     lanes (threads rounded up to whole warps);
+//   - occupancy: too few resident warps fail to hide latency (saturating
+//     at p.OccSat);
+//   - wave quantization: the final partial wave of blocks leaves SMs idle;
+//   - coalescing and tile redundancy on the memory side: rows of
+//     BlockX+2·HaloX doubles starting one element off alignment fetch
+//     whole memory segments, and the halo ring makes every tile load
+//     (BlockX+2HaloX)(BlockY+2HaloY)/(BlockX·BlockY) more data than the
+//     interior needs.
+//
+// These terms are what produce the paper's Figure 7/8 response surface:
+// x = warp size is the sweet spot, small x pays coalescing, large x pays
+// occupancy and quantization.
+func KernelTime(p Props, l Launch) (float64, error) {
+	if err := l.Validate(p); err != nil {
+		return 0, err
+	}
+	tpb := l.ThreadsPerBlock()
+	warps := (tpb + p.WarpSize - 1) / p.WarpSize
+	padEff := float64(tpb) / float64(warps*p.WarpSize)
+
+	occ := Occupancy(p, l)
+	if occ == 0 {
+		return 0, fmt.Errorf("gpusim: launch %+v cannot become resident on %s", l, p.Name)
+	}
+	latEff := occ / p.OccSat
+	if latEff > 1 {
+		latEff = 1
+	}
+
+	blocksPerSM := int(occ * float64(p.MaxThreadsPerSM) / float64(tpb))
+	if blocksPerSM < 1 {
+		blocksPerSM = 1
+	}
+	waveCap := p.SMs * blocksPerSM
+	blocks := l.GridX * l.GridY
+	waves := (blocks + waveCap - 1) / waveCap
+	tailEff := float64(blocks) / float64(waves*waveCap)
+
+	covered := float64(l.CoveredPoints())
+
+	// Memory efficiency terms. Reads drag the tile halo ring (the block
+	// loads (BlockX+2HaloX)(BlockY+2HaloY) values per BlockX·BlockY
+	// computed points) and the coalescing waste of rows that start one
+	// element off alignment; writes are aligned interior rows.
+	rowUseful := l.BlockX + 2*l.HaloX
+	seg := p.WarpSize / 2 // 128-byte transactions = 16 doubles
+	segments := (rowUseful-1)/seg + 2
+	readEff := float64(rowUseful) / float64(segments*seg)
+	redundancy := float64(tpb) / float64(l.BlockX*l.BlockY)
+	wSeg := (l.BlockX + seg - 1) / seg
+	writeEff := float64(l.BlockX) / float64(wSeg*seg)
+
+	// Compute side: besides the arithmetic, every global-memory operation
+	// consumes instruction-issue slots that compete with the DP pipeline —
+	// on GT200 and Fermi the LSU and the (narrow) DP unit share issue, so a
+	// poorly coalesced kernel is slower even when nominally flop-bound.
+	// p.MemIssueFlops is the flop-equivalent cost of one fully-coalesced
+	// memory operation; waste scales it up.
+	// GT200 partition camping: global memory is interleaved across
+	// p.MemPartitions partitions of 256 bytes; blocks whose tiles start at
+	// strides that alias onto few partitions serialize there. Tile width
+	// 32 doubles = 256 B covers every partition; 64 covers half; 128 a
+	// quarter — the documented reason wide tiles disappoint on this
+	// hardware. Fermi hashes addresses, so MemPartitions = 0 disables it.
+	partEff := PartitionEfficiency(p, l.BlockX)
+
+	memOps := l.BytesPerPoint / 8 // ideal accesses per point
+	issue := p.MemIssueFlops * ((memOps-1)*redundancy/readEff + 1/writeEff) / partEff
+	flopsEff := float64(l.FlopsPerPoint) + issue
+	tFlop := covered * flopsEff / (p.EffectiveDPGFlops() * 1e9 * padEff)
+
+	// Bandwidth side.
+	readBytes := covered * (l.BytesPerPoint - 8) * redundancy / readEff
+	writeBytes := covered * 8 / writeEff
+	tMem := (readBytes + writeBytes) / (p.MemBWGBs * 1e9 * partEff)
+
+	t := math.Max(tFlop, tMem) / (latEff * tailEff)
+	return t, nil
+}
+
+// PartitionEfficiency returns the fraction of memory partitions a grid of
+// tiles of blockX doubles keeps busy. Tiles start at x offsets that are
+// multiples of blockX·8 bytes; those offsets cycle through the
+// 256-byte-interleaved partitions, and strides that alias onto a subset
+// leave the rest idle (GT200 "partition camping"). Devices with hashed
+// layouts set MemPartitions to 0 and always return 1.
+func PartitionEfficiency(p Props, blockX int) float64 {
+	if p.MemPartitions <= 0 || p.CampingWeight <= 0 {
+		return 1
+	}
+	const partBytes = 256
+	period := p.MemPartitions * partBytes
+	stride := blockX * 8
+	hit := map[int]bool{}
+	off := 0
+	for i := 0; i < p.MemPartitions*partBytes/8; i++ {
+		hit[(off%period)/partBytes] = true
+		off += stride
+	}
+	raw := float64(len(hit)) / float64(p.MemPartitions)
+	return 1 - p.CampingWeight*(1-raw)
+}
+
+// StencilLaunch builds the Launch for the paper's advection kernel over an
+// nx×ny×nz domain with bx×by interior blocks (halo ring width 1), using the
+// 53-flop stencil and its ideal 16 B/point traffic (one read, one write).
+func StencilLaunch(nx, ny, nz, bx, by int) Launch {
+	return Launch{
+		GridX:  (nx + bx - 1) / bx,
+		GridY:  (ny + by - 1) / by,
+		BlockX: bx, BlockY: by,
+		HaloX: 1, HaloY: 1,
+		ZSlabs:        nz,
+		Points:        nx * ny * nz,
+		FlopsPerPoint: 53,
+		BytesPerPoint: 16,
+	}
+}
+
+// KernelGF returns the modelled sustained GF of the launch: useful flops
+// (interior points only) divided by modelled time.
+func KernelGF(p Props, l Launch) (float64, error) {
+	t, err := KernelTime(p, l)
+	if err != nil {
+		return 0, err
+	}
+	return float64(l.Points) * float64(l.FlopsPerPoint) / t / 1e9, nil
+}

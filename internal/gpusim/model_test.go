@@ -1,0 +1,242 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaunchGeometry(t *testing.T) {
+	l := StencilLaunch(420, 420, 420, 32, 11)
+	if l.GridX != 14 || l.GridY != 39 {
+		t.Fatalf("grid %dx%d, want 14x39", l.GridX, l.GridY)
+	}
+	if l.ThreadsPerBlock() != 34*13 {
+		t.Fatalf("tpb = %d", l.ThreadsPerBlock())
+	}
+	if l.Points != 420*420*420 {
+		t.Fatalf("points = %d", l.Points)
+	}
+	if l.CoveredPoints() != 14*32*39*11*420 {
+		t.Fatalf("covered = %d", l.CoveredPoints())
+	}
+	if l.SharedMemPerBlock() != 34*13*8 {
+		t.Fatalf("smem = %d", l.SharedMemPerBlock())
+	}
+}
+
+func TestValidateLimits(t *testing.T) {
+	p := TeslaC1060()
+	// 32x14 → 34*16 = 544 > 512 threads on C1060.
+	if err := StencilLaunch(420, 420, 420, 32, 14).Validate(p); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	if err := StencilLaunch(420, 420, 420, 32, 11).Validate(p); err != nil {
+		t.Fatalf("paper's Lens block rejected: %v", err)
+	}
+	// 32x8 must fit the C2050 (paper's Yona block).
+	if err := StencilLaunch(420, 420, 420, 32, 8).Validate(TeslaC2050()); err != nil {
+		t.Fatalf("paper's Yona block rejected: %v", err)
+	}
+	if err := (Launch{}).Validate(p); err == nil {
+		t.Fatal("zero launch accepted")
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	prop := func(bx8, by8 uint8) bool {
+		bx := int(bx8%127) + 2
+		by := int(by8%31) + 1
+		for _, p := range []Props{TeslaC1060(), TeslaC2050()} {
+			l := StencilLaunch(420, 420, 420, bx, by)
+			if l.ThreadsPerBlock() > p.MaxThreadsPerBlock {
+				continue
+			}
+			occ := Occupancy(p, l)
+			if occ < 0 || occ > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelTimePositiveAndFinite(t *testing.T) {
+	for _, p := range []Props{TeslaC1060(), TeslaC2050()} {
+		for _, bx := range []int{16, 32, 64, 128} {
+			for by := 1; by <= 14; by++ {
+				l := StencilLaunch(420, 420, 420, bx, by)
+				if l.Validate(p) != nil {
+					continue
+				}
+				d, err := KernelTime(p, l)
+				if err != nil {
+					t.Fatalf("%s %dx%d: %v", p.Name, bx, by, err)
+				}
+				if d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+					t.Fatalf("%s %dx%d: bad time %v", p.Name, bx, by, d)
+				}
+			}
+		}
+	}
+}
+
+// bestBlock sweeps the Figure 7/8 space and returns the argmax block.
+func bestBlock(p Props) (bx, by int, gf float64) {
+	for _, x := range []int{16, 32, 64, 128} {
+		for y := 1; y <= 64; y++ {
+			l := StencilLaunch(420, 420, 420, x, y)
+			if l.Validate(p) != nil {
+				continue
+			}
+			g, err := KernelGF(p, l)
+			if err != nil {
+				continue
+			}
+			if g > gf {
+				bx, by, gf = x, y, g
+			}
+		}
+	}
+	return bx, by, gf
+}
+
+func TestFig7BestBlockXIsWarpSize(t *testing.T) {
+	// Paper §V-C: "An x dimension of 32, the warp size, tends to provide
+	// the best performance" on Lens (C1060).
+	bx, by, gf := bestBlock(TeslaC1060())
+	if bx != 32 {
+		t.Fatalf("Lens best block %dx%d (%.1f GF), want x=32", bx, by, gf)
+	}
+	if by < 5 || by > 16 {
+		t.Fatalf("Lens best y=%d outside the plausible plateau [5,16]", by)
+	}
+}
+
+func TestFig8BestBlockXIsWarpSize(t *testing.T) {
+	// Paper §V-C: best block on Yona (C2050) is 32×8.
+	bx, by, gf := bestBlock(TeslaC2050())
+	if bx != 32 {
+		t.Fatalf("Yona best block %dx%d (%.1f GF), want x=32", bx, by, gf)
+	}
+	if by < 5 || by > 16 {
+		t.Fatalf("Yona best y=%d outside the plausible plateau [5,16]", by)
+	}
+}
+
+func TestSectionVECalibrationGPUResident(t *testing.T) {
+	// Paper §V-E: "the best GPU-resident performance on Yona is 86 GF".
+	_, _, gf := bestBlock(TeslaC2050())
+	if gf < 78 || gf > 94 {
+		t.Fatalf("Yona GPU-resident best = %.1f GF, want 86 ± 10%%", gf)
+	}
+	// Lens (C1060) peaks around 78·0.4 ≈ 30 GF; assert a generous band so
+	// recalibration doesn't silently break the machine balance.
+	_, _, lens := bestBlock(TeslaC1060())
+	if lens < 22 || lens > 40 {
+		t.Fatalf("Lens GPU-resident best = %.1f GF, want ≈30", lens)
+	}
+}
+
+func TestYonaFasterThanLens(t *testing.T) {
+	_, _, lens := bestBlock(TeslaC1060())
+	_, _, yona := bestBlock(TeslaC2050())
+	if yona <= 2*lens {
+		t.Fatalf("Yona (%.1f) should be well over 2x Lens (%.1f)", yona, lens)
+	}
+}
+
+func TestBlockX16SlowerThan32(t *testing.T) {
+	// Half-warp rows pay coalescing on both devices: the best x=16 block
+	// must trail the best x=32 block (Figures 7 and 8).
+	for _, p := range []Props{TeslaC1060(), TeslaC2050()} {
+		best := func(x int) float64 {
+			g := 0.0
+			for y := 1; y <= 64; y++ {
+				l := StencilLaunch(420, 420, 420, x, y)
+				if l.Validate(p) != nil {
+					continue
+				}
+				if v, err := KernelGF(p, l); err == nil && v > g {
+					g = v
+				}
+			}
+			return g
+		}
+		if b16, b32 := best(16), best(32); b16 >= b32 {
+			t.Fatalf("%s: best 16-wide (%.1f) >= best 32-wide (%.1f)", p.Name, b16, b32)
+		}
+	}
+}
+
+func TestPartitionEfficiency(t *testing.T) {
+	p := TeslaC1060() // 8 partitions, weight 1
+	if e := PartitionEfficiency(p, 32); e != 1 {
+		t.Fatalf("32-wide partEff = %v, want 1", e)
+	}
+	if e := PartitionEfficiency(p, 64); e != 0.5 {
+		t.Fatalf("64-wide partEff = %v, want 0.5", e)
+	}
+	if e := PartitionEfficiency(p, 128); e != 0.25 {
+		t.Fatalf("128-wide partEff = %v, want 0.25", e)
+	}
+	// Disabled camping.
+	none := p
+	none.MemPartitions = 0
+	if e := PartitionEfficiency(none, 128); e != 1 {
+		t.Fatalf("disabled partEff = %v", e)
+	}
+	// Weighted camping interpolates toward 1.
+	half := p
+	half.CampingWeight = 0.5
+	if e := PartitionEfficiency(half, 128); e != 1-0.5*0.75 {
+		t.Fatalf("weighted partEff = %v", e)
+	}
+}
+
+func TestKernelGFConsistent(t *testing.T) {
+	p := TeslaC2050()
+	l := StencilLaunch(420, 420, 420, 32, 8)
+	d, err := KernelTime(p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := KernelGF(p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(l.Points) * 53 / d / 1e9
+	if math.Abs(gf-want) > 1e-9 {
+		t.Fatalf("GF inconsistent: %v vs %v", gf, want)
+	}
+}
+
+func TestLinkCopyTime(t *testing.T) {
+	l := Link{LatencySec: 1e-5, GBs: 2}
+	if l.CopyTime(0) != 0 {
+		t.Fatal("zero-byte copy should be free")
+	}
+	want := 1e-5 + 2e9/(2e9)
+	if got := l.CopyTime(2_000_000_000); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CopyTime = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size accepted")
+		}
+	}()
+	l.CopyTime(-1)
+}
+
+func TestKernelTimeScalesWithWork(t *testing.T) {
+	// Twice the z extent should take about twice as long.
+	p := TeslaC2050()
+	a, _ := KernelTime(p, StencilLaunch(420, 420, 210, 32, 8))
+	b, _ := KernelTime(p, StencilLaunch(420, 420, 420, 32, 8))
+	if r := b / a; r < 1.9 || r > 2.1 {
+		t.Fatalf("z-scaling ratio %v, want ~2", r)
+	}
+}

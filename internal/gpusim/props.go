@@ -1,0 +1,127 @@
+// Package gpusim simulates the CUDA devices of the paper's GPU clusters.
+// It provides device memory, constant memory, streams with CUDA ordering
+// semantics, events, host↔device copies over a modelled PCIe link, and
+// kernel launches with two-dimensional thread blocks. Kernels execute
+// *functionally* (their Go body runs immediately, so results are real and
+// testable) and are *charged* virtual time by a device performance model
+// that accounts for warp granularity, occupancy, memory coalescing, tile
+// halo redundancy, wave quantization, and double-precision throughput.
+//
+// The model's absolute rates are calibrated to the paper's reported
+// numbers (§V-E: 86 GF GPU-resident on the Tesla C2050) rather than
+// derived from first principles; the block-size response surface of
+// Figures 7 and 8 emerges from the structural terms.
+package gpusim
+
+import "fmt"
+
+// Props describes a CUDA device's execution resources and calibrated rates.
+type Props struct {
+	Name               string
+	WarpSize           int
+	MaxThreadsPerBlock int
+	MaxThreadsPerSM    int
+	MaxBlocksPerSM     int
+	SharedMemPerSM     int // bytes
+	SMs                int
+
+	PeakDPGFlops float64 // hardware double-precision peak
+	DPEff        float64 // calibrated fraction of peak reachable by the
+	// compiled stencil kernel (CUDA Fortran 10.x codegen, ECC, etc.)
+	MemBWGBs float64 // global-memory bandwidth, GB/s
+	OccSat   float64 // occupancy at which latency is fully hidden
+	// MemIssueFlops is the flop-equivalent instruction-issue cost of one
+	// fully-coalesced global-memory operation (LSU and DP unit share
+	// issue bandwidth); uncoalesced accesses scale it up.
+	MemIssueFlops float64
+	// MemPartitions is the global-memory partition count for the
+	// partition-camping model; 0 means a layout immune to camping.
+	MemPartitions int
+	// CampingWeight scales how strongly partition aliasing hurts: 1 for
+	// GT200's linear interleave, lower for Fermi's partial hashing.
+	CampingWeight float64
+
+	ConcurrentKernels bool // Fermi can overlap kernels from two streams
+	CopyEngines       int  // independent DMA engines (1 = half duplex)
+
+	KernelLaunchSec float64 // host-side cost to launch a kernel
+	GlobalMemBytes  int64   // device memory capacity
+}
+
+// EffectiveDPGFlops returns the calibrated double-precision ceiling.
+func (p Props) EffectiveDPGFlops() float64 { return p.PeakDPGFlops * p.DPEff }
+
+// TeslaC1060 returns the GT200-class device of the Lens cluster
+// (paper Table II: 4 GB, CUDA cc13).
+func TeslaC1060() Props {
+	return Props{
+		Name:               "Tesla C1060",
+		WarpSize:           32,
+		MaxThreadsPerBlock: 512,
+		MaxThreadsPerSM:    1024,
+		MaxBlocksPerSM:     8,
+		SharedMemPerSM:     16 * 1024,
+		SMs:                30,
+		PeakDPGFlops:       78,
+		DPEff:              0.70,
+		MemBWGBs:           102,
+		OccSat:             0.75,
+		MemIssueFlops:      10,
+		MemPartitions:      8,
+		CampingWeight:      1.0,
+		ConcurrentKernels:  false,
+		CopyEngines:        1,
+		KernelLaunchSec:    7e-6,
+		GlobalMemBytes:     4 << 30,
+	}
+}
+
+// TeslaC2050 returns the Fermi-class device of the Yona cluster
+// (paper Table II: 3 GB, CUDA cc20).
+func TeslaC2050() Props {
+	return Props{
+		Name:               "Tesla C2050",
+		WarpSize:           32,
+		MaxThreadsPerBlock: 1024,
+		MaxThreadsPerSM:    1536,
+		MaxBlocksPerSM:     8,
+		SharedMemPerSM:     48 * 1024,
+		SMs:                14,
+		PeakDPGFlops:       515,
+		DPEff:              0.25,
+		MemBWGBs:           144,
+		OccSat:             0.85,
+		MemIssueFlops:      6,
+		MemPartitions:      6,
+		CampingWeight:      0.35,
+		ConcurrentKernels:  true,
+		CopyEngines:        2,
+		KernelLaunchSec:    5e-6,
+		GlobalMemBytes:     3 << 30,
+	}
+}
+
+// Link models the PCIe connection between host memory and the device.
+type Link struct {
+	Name       string
+	LatencySec float64 // per-transfer setup latency
+	GBs        float64 // sustained bandwidth
+}
+
+// CopyTime returns the modelled duration of one transfer of the given size.
+func (l Link) CopyTime(bytes int) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("gpusim: negative copy size %d", bytes))
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return l.LatencySec + float64(bytes)/(l.GBs*1e9)
+}
+
+// PCIeGen1 is the slower bus of the Lens cluster.
+func PCIeGen1() Link { return Link{Name: "PCIe (Lens)", LatencySec: 15e-6, GBs: 1.5} }
+
+// PCIeGen2 is the faster bus of the Yona cluster ("a faster PCIe bus
+// connecting the GPUs to the CPUs", paper §III).
+func PCIeGen2() Link { return Link{Name: "PCIe (Yona)", LatencySec: 8e-6, GBs: 3.0} }

@@ -1,0 +1,120 @@
+// Package grid provides the spatial substrate for the advection test case:
+// three-dimensional fields with halo (ghost) layers, periodic-boundary
+// helpers, the paper's "as cubic as possible" task decomposition (§IV-B),
+// the box-in-box CPU/GPU partition (§IV-H, Fig. 1), Gaussian initial
+// conditions, the analytic solution, and error norms.
+package grid
+
+import "fmt"
+
+// Dims holds one extent per space dimension.
+type Dims struct {
+	X, Y, Z int
+}
+
+// Volume returns the number of points in a Dims-sized box.
+func (d Dims) Volume() int { return d.X * d.Y * d.Z }
+
+// Surface returns the number of points on the surface of a Dims-sized box,
+// counting each face point once (edge and corner points are shared).
+func (d Dims) Surface() int {
+	if d.X <= 0 || d.Y <= 0 || d.Z <= 0 {
+		return 0
+	}
+	inner := Dims{max(d.X-2, 0), max(d.Y-2, 0), max(d.Z-2, 0)}
+	return d.Volume() - inner.Volume()
+}
+
+// FaceArea returns the area (in points) of the face normal to dim.
+func (d Dims) FaceArea(dim int) int {
+	switch dim {
+	case 0:
+		return d.Y * d.Z
+	case 1:
+		return d.X * d.Z
+	case 2:
+		return d.X * d.Y
+	}
+	panic(fmt.Sprintf("grid: bad dimension %d", dim))
+}
+
+// Axis returns the extent along dim (0=x, 1=y, 2=z).
+func (d Dims) Axis(dim int) int {
+	switch dim {
+	case 0:
+		return d.X
+	case 1:
+		return d.Y
+	case 2:
+		return d.Z
+	}
+	panic(fmt.Sprintf("grid: bad dimension %d", dim))
+}
+
+// WithAxis returns a copy of d with the extent along dim replaced by v.
+func (d Dims) WithAxis(dim, v int) Dims {
+	switch dim {
+	case 0:
+		d.X = v
+	case 1:
+		d.Y = v
+	case 2:
+		d.Z = v
+	default:
+		panic(fmt.Sprintf("grid: bad dimension %d", dim))
+	}
+	return d
+}
+
+// Uniform returns a Dims with every extent equal to n.
+func Uniform(n int) Dims { return Dims{n, n, n} }
+
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z) }
+
+// Subdomain is an axis-aligned box of grid points: the half-open region
+// [Lo.X, Lo.X+Size.X) × [Lo.Y, Lo.Y+Size.Y) × [Lo.Z, Lo.Z+Size.Z).
+type Subdomain struct {
+	Lo   Dims
+	Size Dims
+}
+
+// Volume returns the number of points in the subdomain.
+func (s Subdomain) Volume() int { return s.Size.Volume() }
+
+// Hi returns the exclusive upper corner of the subdomain.
+func (s Subdomain) Hi() Dims {
+	return Dims{s.Lo.X + s.Size.X, s.Lo.Y + s.Size.Y, s.Lo.Z + s.Size.Z}
+}
+
+// Contains reports whether global point (i, j, k) lies inside the subdomain.
+func (s Subdomain) Contains(i, j, k int) bool {
+	h := s.Hi()
+	return i >= s.Lo.X && i < h.X && j >= s.Lo.Y && j < h.Y && k >= s.Lo.Z && k < h.Z
+}
+
+// Empty reports whether the subdomain holds no points.
+func (s Subdomain) Empty() bool {
+	return s.Size.X <= 0 || s.Size.Y <= 0 || s.Size.Z <= 0
+}
+
+func (s Subdomain) String() string {
+	return fmt.Sprintf("[%v+%v)", s.Lo, s.Size)
+}
+
+// Intersect returns the overlap of two subdomains (possibly empty).
+func Intersect(a, b Subdomain) Subdomain {
+	lo := Dims{max(a.Lo.X, b.Lo.X), max(a.Lo.Y, b.Lo.Y), max(a.Lo.Z, b.Lo.Z)}
+	ah, bh := a.Hi(), b.Hi()
+	hi := Dims{min(ah.X, bh.X), min(ah.Y, bh.Y), min(ah.Z, bh.Z)}
+	sz := Dims{hi.X - lo.X, hi.Y - lo.Y, hi.Z - lo.Z}
+	if sz.X < 0 {
+		sz.X = 0
+	}
+	if sz.Y < 0 {
+		sz.Y = 0
+	}
+	if sz.Z < 0 {
+		sz.Z = 0
+	}
+	return Subdomain{Lo: lo, Size: sz}
+}

@@ -1,0 +1,308 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/perf"
+	"repro/internal/stats"
+)
+
+// The paper's conclusions (§VI) sketch three what-ifs it could not measure
+// in 2011. The models can: these extension experiments go beyond the
+// paper's figures and are marked as such in EXPERIMENTS.md.
+
+// Extensions returns the beyond-the-paper experiments.
+func Extensions() []Experiment {
+	return []Experiment{
+		{
+			ID:       "ext-pcie",
+			Title:    "What if CPU-GPU communication were faster?",
+			PaperRef: "Section VI (conjecture)",
+			Expect:   "\"an architecture with faster, lower-latency CPU-GPU communication could have a performance profile significantly different\" — F and G close in on I",
+			Run:      runExtPCIe,
+		},
+		{
+			ID:       "ext-gpus",
+			Title:    "What if nodes had more GPUs per node?",
+			PaperRef: "Section VI (conjecture)",
+			Expect:   "\"a computer tuned for our test might have ... a larger number of GPUs\" — hybrid throughput scales with the GPU count",
+			Run:      runExtGPUs,
+		},
+		{
+			ID:       "convergence",
+			Title:    "Numerical convergence ladder",
+			PaperRef: "Section II (method order)",
+			Expect:   "L2 error falls ~4x per resolution doubling: observed order -> 2",
+			Run:      runConvergence,
+		},
+		{
+			ID:       "ext-wide",
+			Title:    "Communication avoidance: wide halos (extension implementation)",
+			PaperRef: "beyond the paper (motivated by Figs. 3-4)",
+			Expect:   "redundant computation loses in the paper's range, wins ~10-27% at full-machine scale where latency dominates",
+			Run:      runExtWide,
+		},
+		{
+			ID:       "ext-weak",
+			Title:    "Weak scaling (the regime the paper excludes)",
+			PaperRef: "Section II (strong-scaling rationale)",
+			Expect:   "with the per-core problem held fixed, parallel efficiency stays near 1 and MPI overlap stays profitable at every scale",
+			Run:      runExtWeak,
+		},
+	}
+}
+
+// PCIeSpeedups is the link-speed sweep of ext-pcie.
+func PCIeSpeedups() []float64 { return []float64{1, 2, 4, 8} }
+
+// fasterYona returns Yona with its CPU-GPU paths sped up by factor f:
+// bandwidths multiplied, latencies divided.
+func fasterYona(f float64) *machine.Machine {
+	m := machine.Yona()
+	// Copy the GPUPath so the shared template is not mutated.
+	gp := *m.GPU
+	gp.Link.GBs *= f
+	gp.Link.LatencySec /= f
+	gp.PageableGBs *= f
+	gp.ShmMPIGBs *= f
+	gp.PhaseSyncSec /= f
+	m.GPU = &gp
+	return m
+}
+
+// ExtPCIe returns, per speedup factor, the best single-node GF of the four
+// GPU implementations.
+func ExtPCIe() []stats.Series {
+	kinds := []core.Kind{core.GPUBulkSync, core.GPUStreams, core.HybridBulkSync, core.HybridOverlap}
+	var out []stats.Series
+	for _, k := range kinds {
+		s := stats.Series{Label: k.String()}
+		for _, f := range PCIeSpeedups() {
+			m := fasterYona(f)
+			if e, ok := bestConfig(m, k, 12); ok {
+				s.Add(f, e.GF, "")
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func runExtPCIe(w io.Writer) error {
+	series := ExtPCIe()
+	t := stats.SeriesTable("CPU-GPU speedup", series)
+	t.Render(w)
+	fmt.Fprintln(w)
+	// How much of the hybrid advantage survives each speedup?
+	var g, i stats.Series
+	for _, s := range series {
+		switch s.Label {
+		case core.GPUStreams.String():
+			g = s
+		case core.HybridOverlap.String():
+			i = s
+		}
+	}
+	for idx := range g.X {
+		fmt.Fprintf(w, "speedup %gx: hybrid-overlap / gpu-streams = %.2f\n",
+			g.X[idx], i.Y[idx]/g.Y[idx])
+	}
+	fmt.Fprintln(w, "\nthe hybrid implementation's edge is a property of slow CPU-GPU paths;")
+	fmt.Fprintln(w, "faster interconnects (the NVLink future) shrink it, as §VI anticipates.")
+	return nil
+}
+
+// GPUCounts is the GPUs-per-node sweep of ext-gpus.
+func GPUCounts() []int { return []int{1, 2, 4} }
+
+// ExtGPUs returns, per GPUs-per-node count, the best Yona-cluster GF of the
+// GPU implementations at full machine scale.
+func ExtGPUs() []stats.Series {
+	kinds := []core.Kind{core.GPUStreams, core.HybridOverlap}
+	var out []stats.Series
+	for _, k := range kinds {
+		s := stats.Series{Label: k.String()}
+		for _, n := range GPUCounts() {
+			m := machine.Yona()
+			m.GPUsPerNode = n
+			if e, ok := bestConfig(m, k, 192); ok {
+				s.Add(float64(n), e.GF, fmt.Sprintf("t=%d", e.Config.Threads))
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func runExtGPUs(w io.Writer) error {
+	series := ExtGPUs()
+	t := stats.SeriesTable("GPUs per node", series)
+	t.Render(w)
+	fmt.Fprintln(w, "\n192 cores of Yona: with more GPUs per node the hybrid implementation")
+	fmt.Fprintln(w, "converts the idle CPU cores per GPU into device throughput — the")
+	fmt.Fprintln(w, "machine-balance shift §VI predicts.")
+	return nil
+}
+
+// WeakGrid returns the cube edge that keeps the per-core load of the
+// paper's 420³/12-core baseline when running on the given cores.
+func WeakGrid(cores int) int {
+	base := 420.0 * math.Cbrt(float64(cores)/12.0)
+	n := int(math.Round(base/2) * 2) // even, for tidy decompositions
+	if n < 12 {
+		n = 12
+	}
+	return n
+}
+
+// ExtWeak returns bulk and nonblocking efficiency series under weak
+// scaling on Hopper II.
+func ExtWeak() []stats.Series {
+	hop := machine.HopperII()
+	counts := []int{24, 192, 1536, 12288}
+	kinds := []core.Kind{core.BulkSync, core.NonblockingOverlap}
+	var out []stats.Series
+	for _, k := range kinds {
+		s := stats.Series{Label: k.String() + " GF/core"}
+		for _, cores := range counts {
+			n := WeakGrid(cores)
+			bestGF := 0.0
+			for _, t := range hop.ThreadChoices {
+				if cores%t != 0 {
+					continue
+				}
+				e, err := perf.Evaluate(perf.Config{
+					M: hop, Kind: k, Cores: cores, Threads: t,
+					N: grid.Uniform(n),
+				})
+				if err == nil && e.GF > bestGF {
+					bestGF = e.GF
+				}
+			}
+			s.Add(float64(cores), bestGF/float64(cores), fmt.Sprintf("n=%d", n))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func runExtWeak(w io.Writer) error {
+	series := ExtWeak()
+	t := stats.SeriesTable("cores", series)
+	t.Render(w)
+	fmt.Fprintln(w, "\nunder weak scaling the per-core rate barely falls and the overlap")
+	fmt.Fprintln(w, "implementation keeps its edge at every scale — the crossovers of")
+	fmt.Fprintln(w, "Figures 3-4 are artifacts of strong scaling, which the paper chose")
+	fmt.Fprintln(w, "because climate grids cannot grow with the machine (§II).")
+	return nil
+}
+
+// WideHaloCores is the core-count sweep of ext-wide: the full Hopper II
+// machine, beyond the paper's plotted range.
+func WideHaloCores() []int { return []int{1536, 12288, 49152, 98304, 153408} }
+
+// ExtWideHalo returns bulk vs wide-halo series on Hopper II (best over
+// threads), widths 2 and 3.
+func ExtWideHalo() []stats.Series {
+	hop := machine.HopperII()
+	configs := []struct {
+		label string
+		kind  core.Kind
+		width int
+	}{
+		{"bulk (W=1)", core.BulkSync, 1},
+		{"wide halo W=2", core.WideHaloExt, 2},
+		{"wide halo W=3", core.WideHaloExt, 3},
+	}
+	var out []stats.Series
+	for _, cfg := range configs {
+		s := stats.Series{Label: cfg.label}
+		for _, cores := range WideHaloCores() {
+			if cores > hop.Cores() {
+				continue
+			}
+			bestGF, bestT := 0.0, 0
+			for _, t := range hop.ThreadChoices {
+				if cores%t != 0 {
+					continue
+				}
+				e, err := perf.Evaluate(perf.Config{
+					M: hop, Kind: cfg.kind, Cores: cores, Threads: t, HaloWidth: cfg.width,
+				})
+				if err == nil && e.GF > bestGF {
+					bestGF, bestT = e.GF, t
+				}
+			}
+			if bestGF > 0 {
+				s.Add(float64(cores), bestGF, fmt.Sprintf("t=%d", bestT))
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func runExtWide(w io.Writer) error {
+	series := ExtWideHalo()
+	t := stats.SeriesTable("cores", series)
+	t.Render(w)
+	fmt.Fprintln(w, "\nthe communication-avoiding trade — W-fold fewer messages for")
+	fmt.Fprintln(w, "O(surface·W²) redundant flops — loses throughout the paper's plotted")
+	fmt.Fprintln(w, "range (Figs. 3-4) and only pays once latency dominates: the full")
+	fmt.Fprintln(w, "Hopper II machine, where W=2 gains ~10% at 153k cores (up to ~27%")
+	fmt.Fprintln(w, "at one thread per task). The paper's finding that overlap stops")
+	fmt.Fprintln(w, "helping at scale does not mean communication cost stops mattering —")
+	fmt.Fprintln(w, "it means hiding gives way to avoiding.")
+	return nil
+}
+
+// Convergence runs the resolution ladder validating the numerics behind
+// the whole study (§II: the method is O(Δ²) for fixed simulated time).
+func Convergence() (stats.Table, error) {
+	t := stats.Table{Header: []string{"grid", "steps", "L2 error", "observed order"}}
+	c := grid.Velocity{X: 0.8, Y: 0.4, Z: 0.2}
+	prevL2 := 0.0
+	prevN := 0
+	for _, n := range []int{12, 24, 48} {
+		p := core.Problem{
+			N: grid.Uniform(n), C: c, Steps: n / 2,
+			Wave: grid.Gaussian{
+				Center: [3]float64{float64(n) / 2, float64(n) / 2, float64(n) / 2},
+				Sigma:  float64(n) / 8,
+			},
+		}
+		r, err := core.New(core.SingleTask)
+		if err != nil {
+			return t, err
+		}
+		res, err := r.Run(p, core.Options{Threads: 2, Verify: true})
+		if err != nil {
+			return t, err
+		}
+		order := ""
+		if prevL2 > 0 {
+			order = fmt.Sprintf("%.2f", math.Log(prevL2/res.Norms.L2)/math.Log(float64(n)/float64(prevN)))
+		}
+		t.AddRow(fmt.Sprintf("%d^3", n), fmt.Sprint(p.Steps),
+			fmt.Sprintf("%.3e", res.Norms.L2), order)
+		prevL2, prevN = res.Norms.L2, n
+	}
+	return t, nil
+}
+
+func runConvergence(w io.Writer) error {
+	t, err := Convergence()
+	if err != nil {
+		return err
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "\nthe observed order approaches 2, the paper's O(Δ²) claim for a fixed")
+	fmt.Fprintln(w, "simulated time; at Courant number 1 the scheme is exact (see the")
+	fmt.Fprintln(w, "stencil package's pure-shift tests).")
+	return nil
+}

@@ -1,0 +1,338 @@
+// Package harness defines one reproducible experiment per table and figure
+// of the paper's evaluation, built on the perf models (for machine-scale
+// results), the gpusim device model (for the block-size sweeps), the
+// functional implementations (for verification), and the loc counter
+// (Figure 2). Each experiment renders the same rows or series the paper
+// reports, as aligned text tables plus an ASCII chart.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	_ "repro/internal/impl" // register the implementations Verify runs
+	"repro/internal/machine"
+	"repro/internal/perf"
+	"repro/internal/stats"
+	"repro/internal/stencil"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID       string // e.g. "fig3"
+	Title    string
+	PaperRef string // the paper element reproduced
+	Expect   string // the shape the paper reports
+	Run      func(w io.Writer) error
+}
+
+// CoreCounts returns the core counts swept for a machine's figures.
+func CoreCounts(m *machine.Machine) []int {
+	switch m.Name {
+	case "JaguarPF":
+		return []int{12, 48, 192, 768, 1536, 3072, 6144, 12288}
+	case "Hopper II":
+		return []int{24, 96, 384, 1536, 6144, 12288, 24576, 49152}
+	case "Lens":
+		return []int{16, 32, 64, 128, 256, 496}
+	case "Yona":
+		return []int{12, 24, 48, 96, 192}
+	}
+	return nil
+}
+
+// bestConfig returns the best estimate over the machine's thread choices
+// (and, for hybrid implementations, box thicknesses).
+func bestConfig(m *machine.Machine, k core.Kind, cores int) (perf.Estimate, bool) {
+	var best perf.Estimate
+	found := false
+	thicks := []int{1}
+	if k == core.HybridBulkSync || k == core.HybridOverlap {
+		thicks = Thicknesses()
+	}
+	bx, by := BestBlock(m)
+	for _, t := range m.ThreadChoices {
+		if cores%t != 0 {
+			continue
+		}
+		for _, w := range thicks {
+			e, err := perf.Evaluate(perf.Config{
+				M: m, Kind: k, Cores: cores, Threads: t,
+				BoxThickness: w, BlockX: bx, BlockY: by,
+			})
+			if err != nil {
+				continue
+			}
+			if !found || e.GF > best.GF {
+				best, found = e, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Thicknesses is the box-thickness sweep of Figures 11 and 12.
+func Thicknesses() []int { return []int{1, 2, 3, 5, 8, 12} }
+
+// BestBlock returns the GPU block used for a machine's parallel GPU
+// experiments: the paper's 32×11 on Lens and 32×8 on Yona.
+func BestBlock(m *machine.Machine) (int, int) {
+	if m.Name == "Lens" {
+		return 32, 11
+	}
+	return 32, 8
+}
+
+// BestPerImpl builds one series per implementation: best GF over tuning
+// parameters at each core count (the construction of Figures 3, 4, 9, 10).
+func BestPerImpl(m *machine.Machine, kinds []core.Kind) []stats.Series {
+	var out []stats.Series
+	for _, k := range kinds {
+		s := stats.Series{Label: k.String()}
+		for _, cores := range CoreCounts(m) {
+			if e, ok := bestConfig(m, k, cores); ok {
+				note := fmt.Sprintf("t=%d", e.Config.Threads)
+				if k == core.HybridBulkSync || k == core.HybridOverlap {
+					note += fmt.Sprintf(",w=%d", e.Config.BoxThickness)
+				}
+				s.Add(float64(cores), e.GF, note)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ThreadSweep builds one series per threads-per-task choice for the
+// bulk-synchronous implementation (Figures 5 and 6).
+func ThreadSweep(m *machine.Machine) []stats.Series {
+	var out []stats.Series
+	for _, t := range m.ThreadChoices {
+		s := stats.Series{Label: fmt.Sprintf("%d threads/task", t)}
+		for _, cores := range CoreCounts(m) {
+			if cores%t != 0 {
+				continue
+			}
+			e, err := perf.Evaluate(perf.Config{M: m, Kind: core.BulkSync, Cores: cores, Threads: t})
+			if err != nil {
+				continue
+			}
+			s.Add(float64(cores), e.GF, "")
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// BlockSweep builds one series per block x dimension of the GPU-resident
+// kernel model (Figures 7 and 8).
+func BlockSweep(p gpusim.Props) []stats.Series {
+	var out []stats.Series
+	for _, bx := range []int{16, 32, 64, 128} {
+		s := stats.Series{Label: fmt.Sprintf("x=%d", bx)}
+		for by := 1; by <= 64; by++ {
+			l := gpusim.StencilLaunch(420, 420, 420, bx, by)
+			if l.Validate(p) != nil {
+				continue
+			}
+			gf, err := gpusim.KernelGF(p, l)
+			if err != nil {
+				continue
+			}
+			s.Add(float64(by), gf, "")
+		}
+		if len(s.X) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// HybridCombos builds the Figure 11/12 series: for each (threads, box
+// thickness) combination that is the best at one or more core counts, the
+// full curve of the hybrid-overlap implementation.
+func HybridCombos(m *machine.Machine) []stats.Series {
+	bx, by := BestBlock(m)
+	type combo struct{ t, w int }
+	wins := map[combo]bool{}
+	for _, cores := range CoreCounts(m) {
+		var bestC combo
+		bestGF := 0.0
+		for _, t := range m.ThreadChoices {
+			if cores%t != 0 {
+				continue
+			}
+			for _, w := range Thicknesses() {
+				e, err := perf.Evaluate(perf.Config{
+					M: m, Kind: core.HybridOverlap, Cores: cores, Threads: t,
+					BoxThickness: w, BlockX: bx, BlockY: by,
+				})
+				if err == nil && e.GF > bestGF {
+					bestGF = e.GF
+					bestC = combo{t, w}
+				}
+			}
+		}
+		if bestGF > 0 {
+			wins[bestC] = true
+		}
+	}
+	var combos []combo
+	for c := range wins {
+		combos = append(combos, c)
+	}
+	sort.Slice(combos, func(i, j int) bool {
+		if combos[i].t != combos[j].t {
+			return combos[i].t < combos[j].t
+		}
+		return combos[i].w < combos[j].w
+	})
+	var out []stats.Series
+	for _, c := range combos {
+		s := stats.Series{Label: fmt.Sprintf("%d threads, width %d", c.t, c.w)}
+		for _, cores := range CoreCounts(m) {
+			if cores%c.t != 0 {
+				continue
+			}
+			e, err := perf.Evaluate(perf.Config{
+				M: m, Kind: core.HybridOverlap, Cores: cores, Threads: c.t,
+				BoxThickness: c.w, BlockX: bx, BlockY: by,
+			})
+			if err != nil {
+				continue
+			}
+			s.Add(float64(cores), e.GF, "")
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// CPUKinds are the implementations of Figures 3 and 4.
+func CPUKinds() []core.Kind {
+	return []core.Kind{core.BulkSync, core.NonblockingOverlap, core.ThreadedOverlap}
+}
+
+// ClusterKinds are the implementations of Figures 9 and 10.
+func ClusterKinds() []core.Kind {
+	return []core.Kind{
+		core.BulkSync, core.NonblockingOverlap, core.ThreadedOverlap,
+		core.GPUBulkSync, core.GPUStreams, core.HybridBulkSync, core.HybridOverlap,
+	}
+}
+
+// renderFigure writes the series as a table plus an ASCII chart.
+func renderFigure(w io.Writer, xName string, series []stats.Series, chartTitle string) {
+	t := stats.SeriesTable(xName, series)
+	t.Render(w)
+	fmt.Fprintln(w)
+	stats.Chart(w, chartTitle, series, 72, 18)
+}
+
+// SectionVE returns the paper-vs-model table for the §V-E single-node
+// anchors on Yona.
+func SectionVE() (stats.Table, error) {
+	yona := machine.Yona()
+	t := stats.Table{Header: []string{"quantity", "paper (GF)", "model (GF)"}}
+
+	bestResident := 0.0
+	for _, bx := range []int{16, 32, 64, 128} {
+		for by := 1; by <= 32; by++ {
+			e, err := perf.Evaluate(perf.Config{M: yona, Kind: core.GPUResident, BlockX: bx, BlockY: by})
+			if err == nil && e.GF > bestResident {
+				bestResident = e.GF
+			}
+		}
+	}
+	t.AddRow("GPU-resident best (Fig 8)", "86", stats.FormatNum(bestResident))
+
+	rows := []struct {
+		name  string
+		kind  core.Kind
+		paper string
+	}{
+		{"GPU bulk-sync MPI, 1 node (IV-F)", core.GPUBulkSync, "24"},
+		{"GPU streams overlap, 1 node (IV-G)", core.GPUStreams, "35"},
+		{"CPU-GPU full overlap, 1 node (IV-I)", core.HybridOverlap, "82"},
+	}
+	for _, r := range rows {
+		e, ok := bestConfig(yona, r.kind, 12)
+		if !ok {
+			return t, fmt.Errorf("harness: no estimate for %v", r.kind)
+		}
+		t.AddRow(r.name, r.paper, stats.FormatNum(e.GF))
+	}
+	return t, nil
+}
+
+// Verify runs every functional implementation on a small problem and
+// reports agreement with the single-task reference and the analytic
+// solution — the reproduction's analog of the paper's norm recording.
+func Verify(n, steps, tasks int) (stats.Table, error) {
+	p := core.DefaultProblem(n, steps)
+	t := stats.Table{Header: []string{"implementation", "section", "L2 vs analytic", "LInf vs analytic", "mass drift", "sim GF"}}
+	for _, k := range core.Kinds() {
+		r, err := core.New(k)
+		if err != nil {
+			return t, err
+		}
+		o := core.Options{Tasks: tasks, Threads: 2, BlockX: 16, BlockY: 8, Verify: true}
+		if !k.UsesMPI() {
+			o.Tasks = 1
+		}
+		res, err := r.Run(p, o)
+		if err != nil {
+			return t, fmt.Errorf("%v: %w", k, err)
+		}
+		sim := ""
+		if v, ok := res.Stats["sim.gf"]; ok {
+			sim = stats.FormatNum(v)
+		}
+		t.AddRow(k.String(), k.Section(),
+			fmt.Sprintf("%.3e", res.Norms.L2),
+			fmt.Sprintf("%.3e", res.Norms.LInf),
+			fmt.Sprintf("%.3e", res.MassDrift),
+			sim)
+	}
+	return t, nil
+}
+
+// TableI renders the stencil coefficients for the default velocity at the
+// maximum stable ν.
+func TableI() stats.Table {
+	p := core.DefaultProblem(420, 1)
+	nu := stencil.MaxStableNu(p.C)
+	c := stencil.TableI(p.C, nu)
+	t := stats.Table{Header: []string{"i", "j", "k", "a_ijk"}}
+	for k := -1; k <= 1; k++ {
+		for j := -1; j <= 1; j++ {
+			for i := -1; i <= 1; i++ {
+				t.AddRow(fmt.Sprint(i), fmt.Sprint(j), fmt.Sprint(k),
+					fmt.Sprintf("%+.6f", c.At(i, j, k)))
+			}
+		}
+	}
+	return t
+}
+
+// TableII renders the machine table.
+func TableII() stats.Table {
+	t := stats.Table{Header: []string{
+		"system", "nodes", "mem/node GB", "sockets", "cores/socket",
+		"clock GHz", "interconnect", "MPI", "GPU", "GPU mem GB",
+	}}
+	for _, m := range machine.All() {
+		gpu, gmem := "-", "-"
+		if m.HasGPU() {
+			gpu = m.GPU.Props.Name
+			gmem = fmt.Sprint(m.GPU.Props.GlobalMemBytes >> 30)
+		}
+		t.AddRow(m.Name, fmt.Sprint(m.Nodes), fmt.Sprint(m.Node.MemoryGB),
+			fmt.Sprint(m.Node.Sockets), fmt.Sprint(m.Node.CoresPerSocket),
+			fmt.Sprintf("%.1f", m.Node.ClockGHz), m.Net.Name, m.MPIName, gpu, gmem)
+	}
+	return t
+}

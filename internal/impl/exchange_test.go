@@ -1,0 +1,131 @@
+package impl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+)
+
+// TestExchangerEquivalentToPeriodicHalos is the direct property behind
+// every MPI implementation's correctness: distributing a field among any
+// number of tasks, running the three-phase exchange, and inspecting each
+// rank's halo must give exactly the values a single periodic field holds
+// in its halo at the same global positions — corners and edges included.
+func TestExchangerEquivalentToPeriodicHalos(t *testing.T) {
+	prop := func(seed uint32, nTasks uint8) bool {
+		n := grid.Dims{X: int(seed%5) + 6, Y: int(seed/5%5) + 6, Z: int(seed/25%5) + 6}
+		tasks := int(nTasks%6) + 1
+
+		// Global reference with periodic halos.
+		val := func(i, j, k int) float64 {
+			return float64(i + 100*j + 10000*k)
+		}
+		ref := grid.NewField(n, 1)
+		ref.Fill(val)
+		ref.CopyPeriodicHalos()
+
+		d := grid.NewDecomp(n, tasks)
+		w := mpi.NewWorld(tasks)
+		ok := true
+		w.Run(func(c *mpi.Comm) {
+			sub := d.Sub(c.Rank())
+			local := grid.NewField(sub.Size, 1)
+			local.Fill(func(i, j, k int) float64 {
+				return val(sub.Lo.X+i, sub.Lo.Y+j, sub.Lo.Z+k)
+			})
+			ex := newExchanger(c, d, local)
+			ex.exchangeAll()
+			wrap := func(v, m int) int { return ((v % m) + m) % m }
+			for k := -1; k <= sub.Size.Z; k++ {
+				for j := -1; j <= sub.Size.Y; j++ {
+					for i := -1; i <= sub.Size.X; i++ {
+						gi := wrap(sub.Lo.X+i, n.X)
+						gj := wrap(sub.Lo.Y+j, n.Y)
+						gk := wrap(sub.Lo.Z+k, n.Z)
+						if local.At(i, j, k) != val(gi, gj, gk) {
+							ok = false
+							return
+						}
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangerRepeatedSteps checks that tags and ordering stay consistent
+// across many consecutive exchanges (no cross-step message confusion).
+func TestExchangerRepeatedSteps(t *testing.T) {
+	n := grid.Uniform(9)
+	d := grid.NewDecomp(n, 3)
+	w := mpi.NewWorld(3)
+	w.Run(func(c *mpi.Comm) {
+		sub := d.Sub(c.Rank())
+		local := grid.NewField(sub.Size, 1)
+		ex := newExchanger(c, d, local)
+		for step := 0; step < 10; step++ {
+			// Each step writes a step-dependent pattern, exchanges, and
+			// checks the received halos carry this step's values.
+			local.Fill(func(i, j, k int) float64 {
+				return float64(step*1000000 + (sub.Lo.X + i) + 100*(sub.Lo.Y+j) + 10000*(sub.Lo.Z+k))
+			})
+			ex.exchangeAll()
+			wrap := func(v, m int) int { return ((v % m) + m) % m }
+			// Spot-check one halo plane.
+			for j := 0; j < sub.Size.Y; j++ {
+				gi := wrap(sub.Lo.X-1, n.X)
+				gj := sub.Lo.Y + j
+				gk := sub.Lo.Z
+				want := float64(step*1000000 + gi + 100*gj + 10000*gk)
+				if got := local.At(-1, j, 0); got != want {
+					t.Errorf("step %d rank %d: halo = %v, want %v", step, c.Rank(), got, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestRunDeterministic pins bitwise reproducibility: the same problem and
+// configuration must give identical results run to run, for every
+// implementation, despite the internal concurrency.
+func TestRunDeterministic(t *testing.T) {
+	p := core.DefaultProblem(14, 3)
+	for _, k := range core.Kinds() {
+		o := core.Options{Tasks: 3, Threads: 2, BlockX: 8, BlockY: 4}
+		if !k.UsesMPI() {
+			o.Tasks = 1
+		}
+		a := run(t, k, p, o)
+		b := run(t, k, p, o)
+		if nm := grid.DiffNorms(a.Final, b.Final); nm.LInf != 0 {
+			t.Fatalf("%v: nondeterministic result (LInf %g)", k, nm.LInf)
+		}
+	}
+}
+
+// TestRankPanicReturnsError verifies the public API converts internal rank
+// failures into errors rather than crashing the process.
+func TestRankPanicReturnsError(t *testing.T) {
+	// BoxThickness too large for one rank's subdomain passes the global
+	// pre-check only if per-rank domains differ... force an error through
+	// an invalid GPU block instead: block larger than the device limit is
+	// caught pre-run, so use the world-level safeWorldRun directly.
+	w := mpi.NewWorld(2)
+	err := safeWorldRun(w, func(c *mpi.Comm) {
+		if c.Rank() == 1 {
+			panic("synthetic failure")
+		}
+		c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("rank panic not converted to error")
+	}
+}

@@ -1,0 +1,64 @@
+package impl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
+)
+
+// TestFunctionalSimTimeMatchesModel pins the DESIGN.md §4 claim: the
+// functional GPU runs charge virtual time with the same device model the
+// analytic perf layer uses, so the simulated step time of a functional
+// GPU-resident run must equal the model's kernel time plus launch
+// overhead.
+func TestFunctionalSimTimeMatchesModel(t *testing.T) {
+	for _, g := range []core.GPUModel{core.GPUC1060, core.GPUC2050} {
+		props := gpusim.TeslaC2050()
+		if g == core.GPUC1060 {
+			props = gpusim.TeslaC1060()
+		}
+		const n, steps = 32, 4
+		p := core.DefaultProblem(n, steps)
+		res := run(t, core.GPUResident, p, core.Options{GPU: g, BlockX: 16, BlockY: 8})
+
+		kt, err := gpusim.KernelTime(props, gpusim.StencilLaunch(n, n, n, 16, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(steps) * (kt + props.KernelLaunchSec)
+		got := res.Stats["sim.seconds"]
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Fatalf("%v: functional sim time %.3g, model %.3g (%.1f%% apart)",
+				g, got, want, rel*100)
+		}
+	}
+}
+
+// TestFunctionalSimGFScalesWithDevice checks that the simulated
+// throughput ranks the devices the way the hardware does.
+func TestFunctionalSimGFScalesWithDevice(t *testing.T) {
+	p := core.DefaultProblem(32, 2)
+	lens := run(t, core.GPUResident, p, core.Options{GPU: core.GPUC1060, BlockX: 16, BlockY: 8})
+	yona := run(t, core.GPUResident, p, core.Options{GPU: core.GPUC2050, BlockX: 16, BlockY: 8})
+	if yona.Stats["sim.gf"] <= lens.Stats["sim.gf"] {
+		t.Fatalf("C2050 (%.1f sim GF) should beat C1060 (%.1f sim GF)",
+			yona.Stats["sim.gf"], lens.Stats["sim.gf"])
+	}
+}
+
+// TestHybridSimFasterThanGPUMPIAtScale runs the functional implementations
+// on the same problem and checks the simulated times reproduce the paper's
+// ordering F ≥ H ≥ I (bulk slowest, full overlap fastest) when PCIe
+// traffic matters.
+func TestHybridSimFasterThanGPUMPIAtScale(t *testing.T) {
+	p := core.DefaultProblem(40, 3)
+	o := core.Options{Tasks: 2, Threads: 2, BlockX: 16, BlockY: 8, BoxThickness: 1}
+	f := run(t, core.GPUBulkSync, p, o)
+	i := run(t, core.HybridOverlap, p, o)
+	if i.Stats["sim.seconds"] >= f.Stats["sim.seconds"] {
+		t.Fatalf("hybrid overlap sim %.3g not below GPU bulk %.3g",
+			i.Stats["sim.seconds"], f.Stats["sim.seconds"])
+	}
+}

@@ -1,0 +1,47 @@
+package impl
+
+import (
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/stencil"
+)
+
+// threadedOverlap is §IV-D: overlap via an asynchronous OpenMP thread
+// instead of nonblocking MPI. The master thread performs the whole
+// (blocking, dimension-serialized) MPI communication and then joins the
+// computation of the interior points, which the other threads began
+// immediately; guided scheduling distributes chunks as threads request
+// them so the late-joining master still gets work. A barrier (implicit at
+// the end of the parallel region) ensures communication has completed
+// before the boundary points are computed.
+type threadedOverlap struct{}
+
+func (threadedOverlap) Kind() core.Kind { return core.ThreadedOverlap }
+
+func (threadedOverlap) Run(p core.Problem, o core.Options) (*core.Result, error) {
+	return runMPI(core.ThreadedOverlap, p, o, func(rc rankCtx) {
+		interior := stencil.Interior(rc.cur.N)
+		boundary := stencil.BoundarySlabs(rc.cur.N)
+		rows := stencil.Rows(interior)
+		for s := 0; s < rc.p.Steps; s++ {
+			rc.team.RunWithMaster(func() {
+				rc.ex.exchangeAll()
+			}, rows, 1, func(lo, hi int) {
+				rc.op.ApplyRows(rc.cur, rc.nxt, interior, lo, hi)
+			})
+			for _, sub := range boundary {
+				if sub.Empty() {
+					continue
+				}
+				sub := sub
+				rc.team.ParallelFor(stencil.Rows(sub), par.Static, 0, func(lo, hi int) {
+					rc.op.ApplyRows(rc.cur, rc.nxt, sub, lo, hi)
+				})
+			}
+			whole := stencil.Whole(rc.cur.N)
+			rc.team.ParallelFor(stencil.Rows(whole), par.Static, 0, func(lo, hi int) {
+				copyRows(rc.nxt, rc.cur, whole, lo, hi)
+			})
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package impl
+
+import (
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// overlapStats summarizes a device trace into Result.Stats entries: how
+// much simulated time the interior kernel spent running concurrently with
+// each other lane. The interior kernel's lane is "gpu.interior"; PCIe
+// traffic is on "pcie.h2d"/"pcie.d2h"; boundary kernels run on
+// "gpu.boundary" in the two-stream implementations.
+func overlapStats(tr *vtime.Trace, stats map[string]float64) {
+	if tr == nil {
+		return
+	}
+	spans := tr.Spans()
+	stats["trace.spans"] = float64(len(spans))
+	lanes := map[string]bool{}
+	for _, s := range spans {
+		lanes[s.Lane] = true
+	}
+	var total vtime.Time
+	const interior = "gpu.interior"
+	if !lanes[interior] {
+		stats["trace.overlap.sec"] = 0
+		return
+	}
+	for lane := range lanes {
+		if lane == interior {
+			continue
+		}
+		ov := tr.Overlap(interior, lane)
+		if ov > 0 {
+			key := "trace.overlap." + sanitizeLane(lane)
+			stats[key] = ov.Seconds()
+		}
+		total += ov
+	}
+	stats["trace.overlap.sec"] = total.Seconds()
+	for lane := range lanes {
+		stats["trace.busy."+sanitizeLane(lane)] = tr.LaneBusy()[lane].Seconds()
+	}
+}
+
+func sanitizeLane(lane string) string {
+	return strings.ReplaceAll(lane, " ", "_")
+}

@@ -1,0 +1,122 @@
+package mpi
+
+import "fmt"
+
+// Cart is a Cartesian process topology over a communicator, the analog of
+// MPI_Cart_create for the paper's aligned three-dimensional decomposition:
+// ranks are arranged on a periodic grid and neighbor lookup follows
+// MPI_Cart_shift semantics. The paper's subdomains "are aligned in each
+// dimension, so each MPI task has 26 neighbors", reached through shifts in
+// the three axis directions.
+type Cart struct {
+	comm     *Comm
+	dims     []int
+	periodic []bool
+	coords   []int
+}
+
+// NewCart builds the topology for this rank. The product of dims must
+// equal the world size (every rank is placed). Rank order is x-fastest,
+// the layout the paper's decomposition uses.
+func NewCart(c *Comm, dims []int, periodic []bool) (*Cart, error) {
+	if len(dims) == 0 || len(dims) != len(periodic) {
+		return nil, fmt.Errorf("mpi: cart dims/periodic mismatch: %v vs %v", dims, periodic)
+	}
+	vol := 1
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("mpi: cart dimension %d < 1", d)
+		}
+		vol *= d
+	}
+	if vol != c.Size() {
+		return nil, fmt.Errorf("mpi: cart volume %d != world size %d", vol, c.Size())
+	}
+	ct := &Cart{
+		comm:     c,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+		coords:   make([]int, len(dims)),
+	}
+	r := c.Rank()
+	for i := range dims {
+		ct.coords[i] = r % dims[i]
+		r /= dims[i]
+	}
+	return ct, nil
+}
+
+// Comm returns the underlying communicator.
+func (ct *Cart) Comm() *Comm { return ct.comm }
+
+// Dims returns the topology extents.
+func (ct *Cart) Dims() []int { return append([]int(nil), ct.dims...) }
+
+// Coords returns this rank's grid coordinates.
+func (ct *Cart) Coords() []int { return append([]int(nil), ct.coords...) }
+
+// Rank returns the rank at the given coordinates, applying periodic
+// wrapping where the dimension is periodic. It returns -1 (the analog of
+// MPI_PROC_NULL) if a non-periodic coordinate is out of range.
+func (ct *Cart) Rank(coords []int) int {
+	if len(coords) != len(ct.dims) {
+		panic(fmt.Sprintf("mpi: cart coords %v have wrong arity", coords))
+	}
+	rank := 0
+	stride := 1
+	for i, v := range coords {
+		d := ct.dims[i]
+		if v < 0 || v >= d {
+			if !ct.periodic[i] {
+				return -1
+			}
+			v = ((v % d) + d) % d
+		}
+		rank += v * stride
+		stride *= d
+	}
+	return rank
+}
+
+// Shift returns the source and destination ranks of an MPI_Cart_shift by
+// disp along dim: src is the neighbor whose data arrives here when
+// everyone sends in the +disp direction, dst is where this rank's data
+// goes. Either may be -1 on a non-periodic edge.
+func (ct *Cart) Shift(dim, disp int) (src, dst int) {
+	if dim < 0 || dim >= len(ct.dims) {
+		panic(fmt.Sprintf("mpi: cart shift dim %d out of range", dim))
+	}
+	up := append([]int(nil), ct.coords...)
+	up[dim] += disp
+	dst = ct.Rank(up)
+	down := append([]int(nil), ct.coords...)
+	down[dim] -= disp
+	src = ct.Rank(down)
+	return src, dst
+}
+
+// Neighbor returns the rank one step along dim in direction dir (±1),
+// the lookup the halo exchange performs.
+func (ct *Cart) Neighbor(dim, dir int) int {
+	_, dst := ct.Shift(dim, dir)
+	return dst
+}
+
+// Sendrecv performs a combined send and receive (MPI_Sendrecv): it sends
+// sendBuf to dst with sendTag and receives into recvBuf from src with
+// recvTag, returning the received count. Either peer may be -1
+// (MPI_PROC_NULL), in which case that half is skipped and the received
+// count is 0.
+func (c *Comm) Sendrecv(dst, sendTag int, sendBuf []float64, src, recvTag int, recvBuf []float64) int {
+	var req *Request
+	if src >= 0 {
+		req = c.IRecv(src, recvTag, recvBuf)
+	}
+	if dst >= 0 {
+		c.Send(dst, sendTag, sendBuf)
+	}
+	if req == nil {
+		return 0
+	}
+	return req.Wait()
+}

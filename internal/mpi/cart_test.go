@@ -1,0 +1,145 @@
+package mpi
+
+import "testing"
+
+func TestCartCoordsRoundTrip(t *testing.T) {
+	w := NewWorld(24)
+	w.Run(func(c *Comm) {
+		ct, err := NewCart(c, []int{2, 3, 4}, []bool{true, true, true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got := ct.Rank(ct.Coords()); got != c.Rank() {
+			t.Errorf("rank %d: Rank(Coords()) = %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestCartPeriodicShift(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		ct, err := NewCart(c, []int{4}, []bool{true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		src, dst := ct.Shift(0, 1)
+		wantDst := (c.Rank() + 1) % 4
+		wantSrc := (c.Rank() + 3) % 4
+		if dst != wantDst || src != wantSrc {
+			t.Errorf("rank %d: shift = (%d,%d), want (%d,%d)", c.Rank(), src, dst, wantSrc, wantDst)
+		}
+	})
+}
+
+func TestCartNonPeriodicEdge(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		ct, err := NewCart(c, []int{3}, []bool{false})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 2 {
+			if n := ct.Neighbor(0, 1); n != -1 {
+				t.Errorf("edge rank has +1 neighbor %d, want -1", n)
+			}
+		}
+		if c.Rank() == 0 {
+			if n := ct.Neighbor(0, -1); n != -1 {
+				t.Errorf("edge rank has -1 neighbor %d, want -1", n)
+			}
+		}
+	})
+}
+
+func TestCartErrors(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		if _, err := NewCart(c, []int{3}, []bool{true}); err == nil {
+			t.Error("wrong volume accepted")
+		}
+		if _, err := NewCart(c, []int{2, 2}, []bool{true}); err == nil {
+			t.Error("arity mismatch accepted")
+		}
+		if _, err := NewCart(c, []int{0, 4}, []bool{true, true}); err == nil {
+			t.Error("zero dimension accepted")
+		}
+	})
+}
+
+func TestCartRingExchange(t *testing.T) {
+	// The classic ring: every rank sends its rank value right and
+	// receives its left neighbor's via Sendrecv.
+	w := NewWorld(5)
+	w.Run(func(c *Comm) {
+		ct, err := NewCart(c, []int{5}, []bool{true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		src, dst := ct.Shift(0, 1)
+		recv := make([]float64, 1)
+		n := c.Sendrecv(dst, 0, []float64{float64(c.Rank())}, src, 0, recv)
+		if n != 1 || recv[0] != float64((c.Rank()+4)%5) {
+			t.Errorf("rank %d: got %v from %d", c.Rank(), recv, src)
+		}
+	})
+}
+
+func TestSendrecvProcNull(t *testing.T) {
+	// Sendrecv with both peers MPI_PROC_NULL is a no-op.
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		if n := c.Sendrecv(-1, 0, []float64{1}, -1, 0, make([]float64, 1)); n != 0 {
+			t.Errorf("proc-null sendrecv returned %d", n)
+		}
+	})
+}
+
+func TestCartMatchesDecompNeighbors(t *testing.T) {
+	// The Cart topology and the grid decomposition must agree on the
+	// neighbor structure for the paper's x-fastest rank order.
+	w := NewWorld(12)
+	w.Run(func(c *Comm) {
+		ct, err := NewCart(c, []int{2, 2, 3}, []bool{true, true, true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Hand-computed spot checks for rank layout x-fastest.
+		if c.Rank() == 0 {
+			if n := ct.Neighbor(0, 1); n != 1 {
+				t.Errorf("x+ neighbor of 0 = %d, want 1", n)
+			}
+			if n := ct.Neighbor(1, 1); n != 2 {
+				t.Errorf("y+ neighbor of 0 = %d, want 2", n)
+			}
+			if n := ct.Neighbor(2, 1); n != 4 {
+				t.Errorf("z+ neighbor of 0 = %d, want 4", n)
+			}
+		}
+	})
+}
+
+func TestCartDimsCopied(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		dims := []int{2}
+		ct, err := NewCart(c, dims, []bool{true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dims[0] = 99
+		if ct.Dims()[0] != 2 {
+			t.Error("Cart aliased caller's dims")
+		}
+		got := ct.Dims()
+		got[0] = 77
+		if ct.Dims()[0] != 2 {
+			t.Error("Dims exposes internal state")
+		}
+	})
+}

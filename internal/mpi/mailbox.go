@@ -1,0 +1,106 @@
+package mpi
+
+import "sync"
+
+// envelope is one in-flight message.
+type envelope struct {
+	src  int
+	tag  int
+	data []float64
+}
+
+// mailbox is a rank's incoming-message queue with MPI matching: a receive
+// takes the earliest-arrived message whose (source, tag) matches, which
+// preserves MPI's non-overtaking guarantee between a sender/receiver pair.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        []envelope
+	poisoned bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	m.q = append(m.q, e)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// get blocks until a message matching (src, tag) is available and removes
+// it. src may be AnySource and tag may be AnyTag.
+func (m *mailbox) get(src, tag int) envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.q {
+			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return e
+			}
+		}
+		if m.poisoned {
+			panic("mpi: world poisoned by a peer rank's panic")
+		}
+		m.cond.Wait()
+	}
+}
+
+// poison wakes all blocked receivers with a panic so a rank failure cannot
+// deadlock the world.
+func (m *mailbox) poison() {
+	m.mu.Lock()
+	m.poisoned = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// centralBarrier is a reusable counting barrier over all ranks of a World.
+type centralBarrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parties  int
+	count    int
+	gen      uint64
+	poisoned bool
+}
+
+func newCentralBarrier(parties int) *centralBarrier {
+	b := &centralBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *centralBarrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("mpi: world poisoned by a peer rank's panic")
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned && gen == b.gen {
+		panic("mpi: world poisoned by a peer rank's panic")
+	}
+}
+
+func (b *centralBarrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,396 @@
+// Package mpi is an in-process message-passing runtime with MPI semantics,
+// standing in for the Cray MPT / OpenMPI libraries of the paper. Ranks run
+// as goroutines inside one World; point-to-point messages are matched on
+// (source, tag) with MPI's non-overtaking order; nonblocking operations
+// return Requests completed by Wait; and the usual collectives (Barrier,
+// Allreduce, Gather) are built from the point-to-point layer with a binomial
+// tree, as a real MPI would build them.
+//
+// Sends are buffered (eager): Send copies the payload and returns
+// immediately, so the communication patterns of the paper — which post
+// receives before sends precisely to be safe under rendezvous protocols —
+// are deadlock-free here too. Functional correctness is this package's job;
+// communication *cost* on the paper's machines is modeled separately by
+// internal/perf.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnyTag matches any tag in Recv and IRecv.
+const AnyTag = -1
+
+// AnySource matches any source rank in Recv and IRecv.
+const AnySource = -1
+
+const collTagBase = 1 << 30 // internal tag space for collectives
+
+// World owns the mailboxes of a fixed set of ranks.
+type World struct {
+	size   int
+	boxes  []*mailbox
+	barier *centralBarrier
+}
+
+// NewWorld creates a world of size ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: world size %d < 1", size))
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size), barier: newCentralBarrier(size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator endpoint for rank. Each rank's Comm must be
+// used by a single goroutine at a time.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Run executes fn concurrently on every rank and returns when all complete.
+// A panic on any rank is re-panicked on the caller after all ranks have
+// stopped or panicked, so tests fail loudly instead of deadlocking silently.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make(chan any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Errorf("mpi: rank %d: %v", rank, p)
+					w.barier.poison()
+					for _, b := range w.boxes {
+						b.poison()
+					}
+				}
+			}()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// Comm is one rank's endpoint in a World.
+type Comm struct {
+	world   *World
+	rank    int
+	collSeq int
+	stats   Stats
+}
+
+// Stats counts this rank's point-to-point traffic, excluding messages a
+// rank sends to itself (which the paper's implementations shortcut in
+// memory) but including collective-internal messages.
+type Stats struct {
+	SentMessages int
+	SentValues   int
+	RecvMessages int
+	RecvValues   int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Stats returns the traffic counters accumulated so far.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// Send delivers a copy of data to dst with the given tag and returns once
+// the payload is buffered (eager protocol). Sending to self is legal.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.checkTag(tag)
+	c.send(dst, tag, data)
+}
+
+// send is the internal path shared with collectives, which use tags above
+// the user tag space.
+func (c *Comm) send(dst, tag int, data []float64) {
+	c.checkRank(dst)
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	c.world.boxes[dst].put(envelope{src: c.rank, tag: tag, data: payload})
+	if dst != c.rank {
+		c.stats.SentMessages++
+		c.stats.SentValues += len(data)
+	}
+}
+
+// Recv blocks until a message matching (src, tag) arrives, copies it into
+// buf, and returns the number of values received. src may be AnySource and
+// tag may be AnyTag. It panics if buf is too small, as a real MPI would
+// report MPI_ERR_TRUNCATE.
+func (c *Comm) Recv(src, tag int, buf []float64) int {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	e := c.world.boxes[c.rank].get(src, tag)
+	if len(e.data) > len(buf) {
+		panic(fmt.Sprintf("mpi: rank %d: truncation: %d values into %d buffer (src %d tag %d)",
+			c.rank, len(e.data), len(buf), e.src, e.tag))
+	}
+	copy(buf, e.data)
+	if e.src != c.rank {
+		c.stats.RecvMessages++
+		c.stats.RecvValues += len(e.data)
+	}
+	return len(e.data)
+}
+
+// Request is a handle to a nonblocking operation, completed by Wait.
+type Request struct {
+	done  bool
+	count int
+	wait  func() int
+}
+
+// Wait blocks until the operation completes and returns the received value
+// count (0 for sends). Wait is idempotent.
+func (r *Request) Wait() int {
+	if !r.done {
+		r.count = r.wait()
+		r.done = true
+		r.wait = nil
+	}
+	return r.count
+}
+
+// Done reports whether the request has already completed via Wait.
+func (r *Request) Done() bool { return r.done }
+
+// ISend starts a nonblocking send. Under the eager protocol the payload is
+// buffered immediately, so the returned request is already complete and the
+// caller may reuse data at once — matching the semantics (not the cost) of
+// MPI_Isend on the paper's machines.
+func (c *Comm) ISend(dst, tag int, data []float64) *Request {
+	c.Send(dst, tag, data)
+	return &Request{done: true}
+}
+
+// IRecv posts a nonblocking receive into buf. The match is performed when
+// Wait is called; buf must not be read before Wait returns.
+func (c *Comm) IRecv(src, tag int, buf []float64) *Request {
+	if src != AnySource {
+		c.checkRank(src)
+	}
+	c.checkTagOrAny(tag)
+	return &Request{wait: func() int { return c.Recv(src, tag, buf) }}
+}
+
+// Waitall completes every request.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() {
+	c.world.barier.wait()
+}
+
+// ReduceOp names an Allreduce combining operation.
+type ReduceOp int
+
+const (
+	// OpSum sums elementwise.
+	OpSum ReduceOp = iota
+	// OpMax takes the elementwise maximum.
+	OpMax
+	// OpMin takes the elementwise minimum.
+	OpMin
+)
+
+// Allreduce combines vals elementwise across all ranks with op and leaves
+// the result in vals on every rank. It is implemented as a binomial-tree
+// reduction to rank 0 followed by a binomial broadcast. All ranks must call
+// it in the same order, the usual MPI collective contract.
+func (c *Comm) Allreduce(op ReduceOp, vals []float64) {
+	tag := c.nextCollTag()
+	size, rank := c.Size(), c.rank
+	tmp := make([]float64, len(vals))
+	// Reduce to rank 0.
+	for step := 1; step < size; step <<= 1 {
+		if rank&step != 0 {
+			c.send(rank-step, tag, vals)
+			break
+		}
+		if rank+step < size {
+			c.Recv(rank+step, tag, tmp)
+			combine(op, vals, tmp)
+		}
+	}
+	// Broadcast from rank 0, mirroring the reduction tree.
+	c.bcastTree(tag+1, vals)
+}
+
+// Bcast broadcasts root's vals to every rank (in place on non-roots).
+func (c *Comm) Bcast(root int, vals []float64) {
+	c.checkRank(root)
+	tag := c.nextCollTag()
+	if root != 0 {
+		// Rotate so the tree math can assume root 0.
+		if c.rank == root {
+			c.send(0, tag, vals)
+		}
+		if c.rank == 0 {
+			c.Recv(root, tag, vals)
+		}
+	}
+	c.bcastTree(tag+1, vals)
+}
+
+func (c *Comm) bcastTree(tag int, vals []float64) {
+	size, rank := c.Size(), c.rank
+	// Find the highest step at which this rank receives.
+	mask := 1
+	for mask < size {
+		mask <<= 1
+	}
+	for step := mask >> 1; step >= 1; step >>= 1 {
+		if rank&(step-1) == 0 { // participant at this level
+			if rank&step != 0 {
+				c.Recv(rank-step, tag, vals)
+			} else if rank+step < size {
+				c.send(rank+step, tag, vals)
+			}
+		}
+	}
+}
+
+// Reduce combines vals elementwise across all ranks with op, leaving the
+// result in vals on root only (other ranks' vals are left partially
+// combined and should not be used, as with MPI_Reduce).
+func (c *Comm) Reduce(root int, op ReduceOp, vals []float64) {
+	c.checkRank(root)
+	tag := c.nextCollTag()
+	size, rank := c.Size(), c.rank
+	// Rotate ranks so the binomial tree roots at `root`.
+	rel := (rank - root + size) % size
+	tmp := make([]float64, len(vals))
+	for step := 1; step < size; step <<= 1 {
+		if rel&step != 0 {
+			c.send((rel-step+root)%size, tag, vals)
+			return
+		}
+		if rel+step < size {
+			c.Recv((rel+step+root)%size, tag, tmp)
+			combine(op, vals, tmp)
+		}
+	}
+}
+
+// Allgather concatenates every rank's send slice, ordered by rank, on all
+// ranks. All slices must have the same length (MPI_Allgather).
+func (c *Comm) Allgather(send []float64) []float64 {
+	tag := c.nextCollTag()
+	size, rank := c.Size(), c.rank
+	out := make([]float64, len(send)*size)
+	copy(out[rank*len(send):], send)
+	// Simple ring: everyone sends to everyone (worlds are small here).
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		c.send(r, tag, send)
+	}
+	buf := make([]float64, len(send))
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		c.Recv(r, tag, buf)
+		copy(out[r*len(send):], buf)
+	}
+	return out
+}
+
+// Gather collects each rank's send slice at root. On root it returns one
+// slice per rank (index = rank); on other ranks it returns nil. Slices may
+// have different lengths (MPI_Gatherv).
+func (c *Comm) Gather(root int, send []float64) [][]float64 {
+	c.checkRank(root)
+	tag := c.nextCollTag()
+	if c.rank != root {
+		c.send(root, tag, send)
+		return nil
+	}
+	out := make([][]float64, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			out[r] = append([]float64(nil), send...)
+			continue
+		}
+		e := c.world.boxes[c.rank].get(r, tag)
+		out[r] = e.data
+	}
+	return out
+}
+
+func combine(op ReduceOp, dst, src []float64) {
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: bad reduce op %d", int(op)))
+	}
+}
+
+func (c *Comm) nextCollTag() int {
+	t := collTagBase + 2*c.collSeq
+	c.collSeq++
+	return t
+}
+
+func (c *Comm) checkRank(r int) {
+	if r < 0 || r >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, c.world.size))
+	}
+}
+
+func (c *Comm) checkTag(tag int) {
+	if tag < 0 || tag >= collTagBase {
+		panic(fmt.Sprintf("mpi: tag %d out of range [0,%d)", tag, collTagBase))
+	}
+}
+
+func (c *Comm) checkTagOrAny(tag int) {
+	if tag != AnyTag {
+		c.checkTag(tag)
+	}
+}

@@ -1,0 +1,553 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, []float64{1, 2, 3})
+		case 1:
+			buf := make([]float64, 3)
+			n := c.Recv(0, 7, buf)
+			if n != 3 || buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+				t.Errorf("recv got %v (n=%d)", buf, n)
+			}
+		}
+	})
+}
+
+func TestSendBufferReusable(t *testing.T) {
+	// Eager sends must copy: mutating the buffer after Send cannot change
+	// the delivered payload.
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			data := []float64{42}
+			c.Send(1, 0, data)
+			data[0] = -1
+			c.Send(1, 0, data)
+		} else {
+			buf := make([]float64, 1)
+			c.Recv(0, 0, buf)
+			if buf[0] != 42 {
+				t.Errorf("first message mutated: %v", buf[0])
+			}
+			c.Recv(0, 0, buf)
+			if buf[0] != -1 {
+				t.Errorf("second message wrong: %v", buf[0])
+			}
+		}
+	})
+}
+
+func TestNonOvertaking(t *testing.T) {
+	// Messages between one (sender, receiver, tag) pair arrive in order.
+	w := NewWorld(2)
+	const n = 100
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 5, []float64{float64(i)})
+			}
+		} else {
+			buf := make([]float64, 1)
+			for i := 0; i < n; i++ {
+				c.Recv(0, 5, buf)
+				if buf[0] != float64(i) {
+					t.Errorf("message %d overtaken by %v", i, buf[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+		} else {
+			buf := make([]float64, 1)
+			c.Recv(0, 2, buf) // receive out of arrival order by tag
+			if buf[0] != 2 {
+				t.Errorf("tag 2 got %v", buf[0])
+			}
+			c.Recv(0, 1, buf)
+			if buf[0] != 1 {
+				t.Errorf("tag 1 got %v", buf[0])
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		if c.Rank() != 0 {
+			c.Send(0, c.Rank(), []float64{float64(c.Rank())})
+			return
+		}
+		var sum float64
+		buf := make([]float64, 1)
+		for i := 0; i < 2; i++ {
+			c.Recv(AnySource, AnyTag, buf)
+			sum += buf[0]
+		}
+		if sum != 3 {
+			t.Errorf("sum = %v, want 3", sum)
+		}
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		c.Send(0, 9, []float64{5, 6})
+		buf := make([]float64, 2)
+		c.Recv(0, 9, buf)
+		if buf[0] != 5 || buf[1] != 6 {
+			t.Errorf("self recv got %v", buf)
+		}
+		if s := c.Stats(); s.SentMessages != 0 || s.RecvMessages != 0 {
+			t.Errorf("self traffic counted: %+v", s)
+		}
+	})
+}
+
+func TestISendIRecvWait(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.ISend(1, 3, []float64{7})
+			if !req.Done() {
+				t.Error("eager ISend should be complete")
+			}
+			req.Wait()
+		} else {
+			buf := make([]float64, 1)
+			req := c.IRecv(0, 3, buf)
+			if req.Done() {
+				t.Error("IRecv complete before Wait")
+			}
+			if n := req.Wait(); n != 1 || buf[0] != 7 {
+				t.Errorf("IRecv got %v (n=%d)", buf, n)
+			}
+			if req.Wait() != 1 {
+				t.Error("Wait not idempotent")
+			}
+		}
+	})
+}
+
+func TestWaitall(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < 5; i++ {
+				reqs = append(reqs, c.ISend(1, i, []float64{float64(i)}))
+			}
+			Waitall(reqs)
+		} else {
+			bufs := make([][]float64, 5)
+			var reqs []*Request
+			for i := 0; i < 5; i++ {
+				bufs[i] = make([]float64, 1)
+				reqs = append(reqs, c.IRecv(0, i, bufs[i]))
+			}
+			reqs = append(reqs, nil) // Waitall must skip nils
+			Waitall(reqs)
+			for i := 0; i < 5; i++ {
+				if bufs[i][0] != float64(i) {
+					t.Errorf("buf[%d] = %v", i, bufs[i][0])
+				}
+			}
+		}
+	})
+}
+
+func TestTruncationPanics(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("truncation did not panic")
+		}
+		if !strings.Contains(p.(error).Error(), "truncation") {
+			t.Fatalf("wrong panic: %v", p)
+		}
+	}()
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2, 3})
+		} else {
+			c.Recv(0, 0, make([]float64, 2))
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := NewWorld(5)
+	var before atomic.Int32
+	w.Run(func(c *Comm) {
+		before.Add(1)
+		c.Barrier()
+		if before.Load() != 5 {
+			t.Errorf("rank %d passed barrier early (before=%d)", c.Rank(), before.Load())
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w := NewWorld(3)
+	var counter atomic.Int32
+	w.Run(func(c *Comm) {
+		for r := 0; r < 20; r++ {
+			counter.Add(1)
+			c.Barrier()
+			if v := counter.Load(); v%3 != 0 {
+				t.Errorf("counter %d not multiple of 3", v)
+				return
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16} {
+		w := NewWorld(size)
+		w.Run(func(c *Comm) {
+			vals := []float64{float64(c.Rank()), 1}
+			c.Allreduce(OpSum, vals)
+			wantSum := float64(size*(size-1)) / 2
+			if vals[0] != wantSum || vals[1] != float64(size) {
+				t.Errorf("size %d rank %d: %v, want [%v %v]", size, c.Rank(), vals, wantSum, size)
+			}
+		})
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(c *Comm) {
+		vals := []float64{float64(c.Rank())}
+		c.Allreduce(OpMax, vals)
+		if vals[0] != 5 {
+			t.Errorf("max = %v", vals[0])
+		}
+		vals[0] = float64(c.Rank())
+		c.Allreduce(OpMin, vals)
+		if vals[0] != 0 {
+			t.Errorf("min = %v", vals[0])
+		}
+	})
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	// Collectives called in a loop must not cross-match between rounds.
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		for r := 0; r < 25; r++ {
+			vals := []float64{float64(r)}
+			c.Allreduce(OpSum, vals)
+			if vals[0] != float64(4*r) {
+				t.Errorf("round %d: %v", r, vals[0])
+				return
+			}
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	for _, root := range []int{0, 1, 3} {
+		w := NewWorld(5)
+		w.Run(func(c *Comm) {
+			vals := make([]float64, 2)
+			if c.Rank() == root {
+				vals[0], vals[1] = 3.5, -1
+			}
+			c.Bcast(root, vals)
+			if vals[0] != 3.5 || vals[1] != -1 {
+				t.Errorf("root %d rank %d: got %v", root, c.Rank(), vals)
+			}
+		})
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		send := make([]float64, c.Rank()+1) // varying lengths
+		for i := range send {
+			send[i] = float64(c.Rank())
+		}
+		out := c.Gather(2, send)
+		if c.Rank() != 2 {
+			if out != nil {
+				t.Errorf("non-root got %v", out)
+			}
+			return
+		}
+		for r := 0; r < 4; r++ {
+			if len(out[r]) != r+1 {
+				t.Errorf("rank %d slice len %d", r, len(out[r]))
+			}
+			for _, v := range out[r] {
+				if v != float64(r) {
+					t.Errorf("rank %d slice value %v", r, v)
+				}
+			}
+		}
+	})
+}
+
+func TestStatsCounting(t *testing.T) {
+	w := NewWorld(2)
+	var stats [2]Stats
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 10))
+			c.Send(1, 0, make([]float64, 5))
+		} else {
+			buf := make([]float64, 10)
+			c.Recv(0, 0, buf)
+			c.Recv(0, 0, buf)
+		}
+		stats[c.Rank()] = c.Stats()
+	})
+	if stats[0].SentMessages != 2 || stats[0].SentValues != 15 {
+		t.Fatalf("sender stats %+v", stats[0])
+	}
+	if stats[1].RecvMessages != 2 || stats[1].RecvValues != 15 {
+		t.Fatalf("receiver stats %+v", stats[1])
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank panic not propagated")
+		}
+	}()
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		// Other ranks block; poisoning must release them.
+		c.Recv(0, 99, make([]float64, 1))
+	})
+}
+
+func TestRunPanicReleasesBarrier(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank panic not propagated")
+		}
+	}()
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		c.Barrier()
+	})
+}
+
+func TestAllreduceProperty(t *testing.T) {
+	prop := func(raw []float64, sizeRaw uint8) bool {
+		size := int(sizeRaw%7) + 1
+		if len(raw) == 0 {
+			raw = []float64{1}
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			// Keep magnitudes small so float addition error stays tiny.
+			raw[i] = math.Mod(raw[i], 100)
+		}
+		var want float64
+		w := NewWorld(size)
+		results := make([]float64, size)
+		w.Run(func(c *Comm) {
+			vals := []float64{raw[c.Rank()%len(raw)]}
+			c.Allreduce(OpSum, vals)
+			results[c.Rank()] = vals[0]
+		})
+		for r := 0; r < size; r++ {
+			want += raw[r%len(raw)]
+		}
+		for _, got := range results {
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldSizeAndRankChecks(t *testing.T) {
+	w := NewWorld(2)
+	if w.Size() != 2 {
+		t.Fatalf("Size = %d", w.Size())
+	}
+	c := w.Comm(0)
+	for _, f := range []func(){
+		func() { c.Send(5, 0, nil) },
+		func() { c.Send(0, -3, nil) },
+		func() { w.Comm(2) },
+		func() { NewWorld(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllreduceSumOrderIndependent(t *testing.T) {
+	// The binomial tree must produce the same result regardless of world
+	// size parity (regression guard for tree index math).
+	for size := 1; size <= 12; size++ {
+		w := NewWorld(size)
+		w.Run(func(c *Comm) {
+			vals := []float64{1}
+			c.Allreduce(OpSum, vals)
+			if vals[0] != float64(size) {
+				t.Errorf("size %d rank %d: sum=%v", size, c.Rank(), vals[0])
+			}
+		})
+	}
+}
+
+func TestRandomTrafficProperty(t *testing.T) {
+	// A randomized all-to-all storm: every rank sends a random number of
+	// tagged messages to random peers, then receives exactly what was
+	// addressed to it. Checks matching under load with many goroutines.
+	prop := func(seed uint32) bool {
+		size := int(seed%5) + 2
+		rng := seed
+		next := func() uint32 {
+			rng = rng*1664525 + 1013904223
+			return rng
+		}
+		// Precompute the traffic matrix: counts[src][dst].
+		counts := make([][]int, size)
+		for s := range counts {
+			counts[s] = make([]int, size)
+			for d := range counts[s] {
+				counts[s][d] = int(next() % 4)
+			}
+		}
+		w := NewWorld(size)
+		ok := true
+		w.Run(func(c *Comm) {
+			me := c.Rank()
+			for dst := 0; dst < size; dst++ {
+				for i := 0; i < counts[me][dst]; i++ {
+					c.Send(dst, me, []float64{float64(me*1000 + i)})
+				}
+			}
+			for src := 0; src < size; src++ {
+				for i := 0; i < counts[src][me]; i++ {
+					buf := make([]float64, 1)
+					c.Recv(src, src, buf)
+					if buf[0] != float64(src*1000+i) {
+						ok = false
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyRanksBarrierStress(t *testing.T) {
+	w := NewWorld(32)
+	var counter atomic.Int64
+	w.Run(func(c *Comm) {
+		for r := 0; r < 10; r++ {
+			counter.Add(1)
+			c.Barrier()
+			if v := counter.Load(); v%32 != 0 {
+				t.Errorf("round %d: counter %d", r, v)
+				return
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestReduce(t *testing.T) {
+	for _, root := range []int{0, 2} {
+		for _, size := range []int{1, 2, 5, 8} {
+			if root >= size {
+				continue
+			}
+			w := NewWorld(size)
+			w.Run(func(c *Comm) {
+				vals := []float64{float64(c.Rank() + 1)}
+				c.Reduce(root, OpSum, vals)
+				if c.Rank() == root {
+					want := float64(size*(size+1)) / 2
+					if vals[0] != want {
+						t.Errorf("root %d size %d: sum %v, want %v", root, size, vals[0], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(c *Comm) {
+		send := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
+		got := c.Allgather(send)
+		if len(got) != 10 {
+			t.Errorf("rank %d: len %d", c.Rank(), len(got))
+			return
+		}
+		for r := 0; r < 5; r++ {
+			if got[2*r] != float64(r) || got[2*r+1] != float64(r*10) {
+				t.Errorf("rank %d: slot %d = %v,%v", c.Rank(), r, got[2*r], got[2*r+1])
+				return
+			}
+		}
+	})
+}
+
+func TestReduceAndAllreduceAgree(t *testing.T) {
+	w := NewWorld(7)
+	w.Run(func(c *Comm) {
+		a := []float64{float64(c.Rank()) * 1.5}
+		b := []float64{float64(c.Rank()) * 1.5}
+		c.Allreduce(OpSum, a)
+		c.Reduce(0, OpSum, b)
+		if c.Rank() == 0 && a[0] != b[0] {
+			t.Errorf("Allreduce %v != Reduce %v", a[0], b[0])
+		}
+	})
+}

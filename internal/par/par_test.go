@@ -1,0 +1,316 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func coverageCheck(t *testing.T, n int, run func(body func(lo, hi int))) {
+	t.Helper()
+	marks := make([]int32, n)
+	run(func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("iteration %d executed %d times", i, m)
+		}
+	}
+}
+
+func TestParallelForSchedules(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		for _, n := range []int{1, 3, 4, 17, 100, 1000} {
+			coverageCheck(t, n, func(body func(lo, hi int)) {
+				team.ParallelFor(n, sched, 0, body)
+			})
+		}
+	}
+}
+
+func TestParallelForChunkSizes(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	for _, chunk := range []int{1, 2, 7, 100} {
+		coverageCheck(t, 50, func(body func(lo, hi int)) {
+			team.ParallelFor(50, Dynamic, chunk, body)
+		})
+		coverageCheck(t, 50, func(body func(lo, hi int)) {
+			team.ParallelFor(50, Guided, chunk, body)
+		})
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	called := false
+	team.ParallelFor(0, Static, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
+
+func TestParallelForSingleWorker(t *testing.T) {
+	team := NewTeam(1)
+	defer team.Close()
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		coverageCheck(t, 25, func(body func(lo, hi int)) {
+			team.ParallelFor(25, sched, 0, body)
+		})
+	}
+}
+
+func TestStaticChunkProperty(t *testing.T) {
+	prop := func(nRaw, wRaw uint16) bool {
+		n := int(nRaw % 500)
+		w := int(wRaw%16) + 1
+		prev := 0
+		total := 0
+		for tid := 0; tid < w; tid++ {
+			lo, hi := StaticChunk(n, w, tid)
+			if lo != prev || hi < lo {
+				return false
+			}
+			if hi-lo > n/w+1 || (n >= w && hi-lo < n/w) {
+				return false
+			}
+			prev = hi
+			total += hi - lo
+		}
+		return prev == n && total == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllWorkers(t *testing.T) {
+	team := NewTeam(5)
+	defer team.Close()
+	var seen [5]int32
+	team.Run(func(tid int) { atomic.AddInt32(&seen[tid], 1) })
+	for tid, c := range seen {
+		if c != 1 {
+			t.Fatalf("worker %d ran %d times", tid, c)
+		}
+	}
+}
+
+func TestRunReusable(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	var count atomic.Int32
+	for r := 0; r < 50; r++ {
+		team.Run(func(tid int) { count.Add(1) })
+	}
+	if count.Load() != 150 {
+		t.Fatalf("count = %d, want 150", count.Load())
+	}
+}
+
+func TestTeamBarrier(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	var before, after atomic.Int32
+	team.Run(func(tid int) {
+		before.Add(1)
+		team.Barrier()
+		if before.Load() != 4 {
+			t.Errorf("worker %d passed barrier with before=%d", tid, before.Load())
+		}
+		after.Add(1)
+	})
+	if after.Load() != 4 {
+		t.Fatalf("after = %d", after.Load())
+	}
+}
+
+func TestRunWithMaster(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	var masterDone atomic.Bool
+	var work atomic.Int32
+	team.RunWithMaster(func() {
+		masterDone.Store(true)
+	}, 1000, 1, func(lo, hi int) {
+		work.Add(int32(hi - lo))
+	})
+	if !masterDone.Load() {
+		t.Fatal("master work skipped")
+	}
+	if work.Load() != 1000 {
+		t.Fatalf("work = %d, want 1000", work.Load())
+	}
+}
+
+func TestRunWithMasterSingleThread(t *testing.T) {
+	// With one thread the master serializes comm before compute, like
+	// OpenMP with OMP_NUM_THREADS=1.
+	team := NewTeam(1)
+	defer team.Close()
+	order := []string{}
+	var mu sync.Mutex
+	team.RunWithMaster(func() {
+		mu.Lock()
+		order = append(order, "comm")
+		mu.Unlock()
+	}, 3, 1, func(lo, hi int) {
+		mu.Lock()
+		order = append(order, "work")
+		mu.Unlock()
+	})
+	if len(order) == 0 || order[0] != "comm" {
+		t.Fatalf("order = %v, want comm first", order)
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	s := newScheduler(1000, 4, Guided, 1)
+	last := 1 << 30
+	for {
+		lo, hi, ok := s.next()
+		if !ok {
+			break
+		}
+		size := hi - lo
+		if size > last {
+			t.Fatalf("guided chunk grew: %d after %d", size, last)
+		}
+		last = size
+	}
+}
+
+func TestGuidedChunkFloor(t *testing.T) {
+	s := newScheduler(100, 4, Guided, 10)
+	for {
+		lo, hi, ok := s.next()
+		if !ok {
+			break
+		}
+		if hi-lo < 10 && hi != 100 {
+			t.Fatalf("chunk [%d,%d) below floor", lo, hi)
+		}
+	}
+}
+
+func TestNewTeamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTeam(0) did not panic")
+		}
+	}()
+	NewTeam(0)
+}
+
+func TestBarrierStandalone(t *testing.T) {
+	b := NewBarrier(3)
+	var phase atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				phase.Add(1)
+				b.Wait()
+				if v := phase.Load(); v%3 != 0 {
+					t.Errorf("phase %d not multiple of 3 after barrier", v)
+					return
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Fatal("bad schedule names")
+	}
+	if Schedule(9).String() != "Schedule(9)" {
+		t.Fatal("bad unknown schedule name")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	team := NewTeam(2)
+	team.Close()
+	team.Close() // must not panic
+}
+
+func TestReduceSum(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	got := team.ReduceSum(1000, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	})
+	if want := float64(999 * 1000 / 2); got != want {
+		t.Fatalf("ReduceSum = %v, want %v", got, want)
+	}
+	// Deterministic across repeats (fixed summation order).
+	again := team.ReduceSum(1000, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(i) * 1e-7
+		}
+		return s
+	})
+	third := team.ReduceSum(1000, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(i) * 1e-7
+		}
+		return s
+	})
+	if again != third {
+		t.Fatal("ReduceSum not deterministic")
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	got := team.ReduceMax(100, func(lo, hi int) float64 {
+		m := -1.0
+		for i := lo; i < hi; i++ {
+			v := float64((i * 37) % 89)
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	})
+	want := -1.0
+	for i := 0; i < 100; i++ {
+		if v := float64((i * 37) % 89); v > want {
+			want = v
+		}
+	}
+	if got != want {
+		t.Fatalf("ReduceMax = %v, want %v", got, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	if s := team.ReduceSum(0, func(lo, hi int) float64 { return 99 }); s != 0 {
+		t.Fatalf("empty ReduceSum = %v", s)
+	}
+}

@@ -1,0 +1,163 @@
+package perf
+
+import (
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/machine"
+)
+
+// Ablations disable individual mechanisms of the performance model to show
+// which observed shape each one carries. DESIGN.md calls these out as the
+// load-bearing design choices of the reproduction; the ablation tests pin
+// them: remove the mechanism and the corresponding paper shape disappears.
+
+// AblationResult compares a quantity with a mechanism on and off.
+type AblationResult struct {
+	Name     string
+	Baseline float64
+	Ablated  float64
+}
+
+// AblateCamping evaluates the best GPU-resident block with and without the
+// GT200 partition-camping model. With camping, 32-wide tiles win (Fig. 7);
+// without it, wider tiles' better coalescing wins and the paper's
+// "x = 32 is best" observation disappears.
+func AblateCamping() (withX, withoutX int, r AblationResult) {
+	base := gpusim.TeslaC1060()
+	flat := base
+	flat.MemPartitions = 0
+
+	best := func(p gpusim.Props) (int, float64) {
+		bx, gf := 0, 0.0
+		for _, x := range []int{16, 32, 64, 128} {
+			for y := 1; y <= 64; y++ {
+				l := gpusim.StencilLaunch(420, 420, 420, x, y)
+				if l.Validate(p) != nil {
+					continue
+				}
+				if v, err := gpusim.KernelGF(p, l); err == nil && v > gf {
+					bx, gf = x, v
+				}
+			}
+		}
+		return bx, gf
+	}
+	var wGF, woGF float64
+	withX, wGF = best(base)
+	withoutX, woGF = best(flat)
+	return withX, withoutX, AblationResult{Name: "partition camping", Baseline: wGF, Ablated: woGF}
+}
+
+// AblateOffload evaluates the nonblocking-vs-bulk ratio on JaguarPF at a
+// low core count with and without NIC offload. Without offload nothing can
+// be hidden and the §IV-C implementation loses its low-core advantage
+// (Fig. 3's left side).
+func AblateOffload(cores int) (withRatio, withoutRatio float64) {
+	ratio := func(m *machine.Machine) float64 {
+		best := func(k core.Kind) float64 {
+			gf := 0.0
+			for _, t := range m.ThreadChoices {
+				if cores%t != 0 {
+					continue
+				}
+				if e, err := Evaluate(Config{M: m, Kind: k, Cores: cores, Threads: t}); err == nil && e.GF > gf {
+					gf = e.GF
+				}
+			}
+			return gf
+		}
+		return best(core.NonblockingOverlap) / best(core.BulkSync)
+	}
+	base := machine.JaguarPF()
+	withRatio = ratio(base)
+	ablated := machine.JaguarPF()
+	ablated.Net.OffloadFraction = 0
+	withoutRatio = ratio(ablated)
+	return withRatio, withoutRatio
+}
+
+// AblateSlowPipe evaluates the Yona single-node §IV-G result with the
+// calibrated slow CPU-side GPU-boundary pipeline and with an idealized
+// fast one. With a fast pipeline the stream implementation nearly matches
+// GPU-resident and the hybrid implementation's headline advantage (the
+// whole point of §V-E) largely disappears.
+func AblateSlowPipe() (calibrated, idealized AblationResult) {
+	eval := func(m *machine.Machine, k core.Kind) float64 {
+		gf := 0.0
+		for _, t := range m.ThreadChoices {
+			for _, w := range []int{1, 2, 3} {
+				e, err := Evaluate(Config{M: m, Kind: k, Cores: 12, Threads: t,
+					BoxThickness: w, BlockX: 32, BlockY: 8})
+				if err == nil && e.GF > gf {
+					gf = e.GF
+				}
+			}
+		}
+		return gf
+	}
+	base := machine.Yona()
+	fast := machine.Yona()
+	fast.GPU.ShmMPIGBs = 3.0
+	fast.GPU.PageableGBs = 3.0
+	calibrated = AblationResult{
+		Name:     "stream overlap (G) vs hybrid overlap (I), calibrated pipe",
+		Baseline: eval(base, core.GPUStreams),
+		Ablated:  eval(base, core.HybridOverlap),
+	}
+	idealized = AblationResult{
+		Name:     "stream overlap (G) vs hybrid overlap (I), idealized pipe",
+		Baseline: eval(fast, core.GPUStreams),
+		Ablated:  eval(fast, core.HybridOverlap),
+	}
+	return calibrated, idealized
+}
+
+// AblateThreadSlope evaluates the best threads-per-task on JaguarPF at a
+// small core count with and without the thread-team efficiency slope.
+// Without it the low-scale preference for few threads per task (Fig. 5's
+// left side) disappears.
+func AblateThreadSlope(cores int) (withSlope, withoutSlope int) {
+	best := func(m *machine.Machine) int {
+		bt, gf := 0, 0.0
+		for _, t := range m.ThreadChoices {
+			if cores%t != 0 {
+				continue
+			}
+			if e, err := Evaluate(Config{M: m, Kind: core.BulkSync, Cores: cores, Threads: t}); err == nil && e.GF > gf {
+				bt, gf = t, e.GF
+			}
+		}
+		return bt
+	}
+	base := machine.JaguarPF()
+	withSlope = best(base)
+	flat := machine.JaguarPF()
+	flat.Node.ThreadEffSlope = 0
+	withoutSlope = best(flat)
+	return withSlope, withoutSlope
+}
+
+// AblateConcurrentKernels evaluates the Yona §IV-I estimate with and
+// without concurrent-kernel support, quantifying the paper's "on some
+// GPUs, the boundary computation" aside: on a device that cannot run
+// kernels concurrently, the boundary kernels queue behind the interior
+// kernel instead of hiding under it. (§IV-G is insensitive at one node
+// because its CPU-side pipeline dominates either way.)
+func AblateConcurrentKernels() AblationResult {
+	eval := func(m *machine.Machine) float64 {
+		e, err := Evaluate(Config{M: m, Kind: core.HybridOverlap, Cores: 12, Threads: 12,
+			BoxThickness: 1, BlockX: 32, BlockY: 8})
+		if err != nil {
+			return 0
+		}
+		return e.GF
+	}
+	base := machine.Yona()
+	serial := machine.Yona()
+	serial.GPU.Props.ConcurrentKernels = false
+	return AblationResult{
+		Name:     "concurrent kernels",
+		Baseline: eval(base),
+		Ablated:  eval(serial),
+	}
+}

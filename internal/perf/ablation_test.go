@@ -1,0 +1,68 @@
+package perf
+
+import "testing"
+
+func TestAblateCamping(t *testing.T) {
+	withX, withoutX, r := AblateCamping()
+	if withX != 32 {
+		t.Fatalf("with camping, best x = %d, want 32 (Fig. 7)", withX)
+	}
+	if withoutX <= 32 {
+		t.Fatalf("without camping, wider tiles should win, got x = %d", withoutX)
+	}
+	if r.Ablated <= r.Baseline {
+		t.Fatalf("removing a penalty should not slow the best kernel: %.1f -> %.1f",
+			r.Baseline, r.Ablated)
+	}
+}
+
+func TestAblateOffload(t *testing.T) {
+	withR, withoutR := AblateOffload(1536)
+	if withR <= 1 {
+		t.Fatalf("with offload, nonblocking should beat bulk at 1536 cores (ratio %.3f)", withR)
+	}
+	if withoutR >= 1 {
+		t.Fatalf("without offload, nonblocking should lose its advantage (ratio %.3f)", withoutR)
+	}
+}
+
+func TestAblateSlowPipe(t *testing.T) {
+	calibrated, idealized := AblateSlowPipe()
+	// Calibrated: the hybrid implementation wins by more than 2x (the
+	// paper's headline).
+	if calibrated.Ablated < 2*calibrated.Baseline {
+		t.Fatalf("calibrated pipe: hybrid %.1f not 2x streams %.1f",
+			calibrated.Ablated, calibrated.Baseline)
+	}
+	// Idealized: the advantage collapses — the slow CPU-side pipeline is
+	// what the hybrid design is escaping.
+	if idealized.Ablated > 1.5*idealized.Baseline {
+		t.Fatalf("idealized pipe: hybrid advantage should collapse, got %.1f vs %.1f",
+			idealized.Ablated, idealized.Baseline)
+	}
+	// And the streams implementation itself must benefit hugely from the
+	// idealized pipe.
+	if idealized.Baseline < 1.5*calibrated.Baseline {
+		t.Fatalf("idealized pipe should speed up streams: %.1f -> %.1f",
+			calibrated.Baseline, idealized.Baseline)
+	}
+}
+
+func TestAblateThreadSlope(t *testing.T) {
+	withSlope, withoutSlope := AblateThreadSlope(48)
+	if withSlope > 2 {
+		t.Fatalf("with the slope, few threads should win at 48 cores, got %d", withSlope)
+	}
+	if withoutSlope <= withSlope {
+		t.Fatalf("without the slope, the optimum should move to more threads: %d -> %d",
+			withSlope, withoutSlope)
+	}
+}
+
+func TestAblateConcurrentKernels(t *testing.T) {
+	r := AblateConcurrentKernels()
+	if r.Ablated >= r.Baseline {
+		t.Fatalf("serializing kernels should slow the stream implementation: %.1f -> %.1f",
+			r.Baseline, r.Ablated)
+	}
+}

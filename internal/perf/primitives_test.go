@@ -1,0 +1,177 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+func TestCpuComputeScalesWithThreads(t *testing.T) {
+	n := machine.JaguarPF().Node
+	one := cpuCompute(n, 1_000_000, 1)
+	six := cpuCompute(n, 1_000_000, 6)
+	// Six threads on one socket: near-linear minus the team slope.
+	speedup := one / six
+	if speedup < 5.5 || speedup > 6.0 {
+		t.Fatalf("6-thread speedup %.2f, want ~5.5-6", speedup)
+	}
+	// Twelve threads span both sockets: NUMA penalty bites.
+	twelve := cpuCompute(n, 1_000_000, 12)
+	if s := one / twelve; s >= 2*speedup {
+		t.Fatalf("12-thread speedup %.2f should be sublinear vs 6-thread %.2f", s, speedup)
+	}
+}
+
+func TestNumaEffMonotoneNonIncreasing(t *testing.T) {
+	for _, m := range machine.All() {
+		prev := 2.0
+		for tt := 1; tt <= m.Node.Cores(); tt++ {
+			e := numaEff(m.Node, tt)
+			if e <= 0 || e > 1 {
+				t.Fatalf("%s t=%d: eff %v out of (0,1]", m.Name, tt, e)
+			}
+			if e > prev+1e-12 {
+				t.Fatalf("%s t=%d: eff %v increased from %v", m.Name, tt, e, prev)
+			}
+			prev = e
+		}
+	}
+}
+
+func TestCopyStepFraction(t *testing.T) {
+	n := machine.Yona().Node
+	c := cpuCompute(n, 100000, 4)
+	cp := copyStep(n, 100000, 4)
+	if r := cp / c; math.Abs(r-n.CopyFraction) > 1e-12 {
+		t.Fatalf("copy fraction %v, want %v", r, n.CopyFraction)
+	}
+}
+
+func TestCommPhaseSelfNeighborCheaper(t *testing.T) {
+	// A single-task run (self-neighbor in every dimension) must pay only
+	// local copies, far below a networked exchange of the same bytes.
+	// Same 32³ subdomain, once as a single self-neighbor task and once
+	// split 2×2×2 across nodes: the networked exchange pays latency,
+	// posting, and injection costs the local wrap does not.
+	cfgSelf := Config{M: machine.Yona(), Kind: core.BulkSync, Cores: 12, Threads: 12, N: grid.Uniform(32)}
+	lSelf, err := newLayout(cfgSelf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgNet := Config{M: machine.Yona(), Kind: core.BulkSync, Cores: 96, Threads: 12, N: grid.Uniform(64)}
+	lNet, err := newLayout(cfgNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lSelf.sub != lNet.sub {
+		t.Fatalf("subdomains differ: %v vs %v", lSelf.sub, lNet.sub)
+	}
+	self := commPhase(cfgSelf, lSelf, 0)
+	net := commPhase(cfgNet, lNet, 0)
+	if self >= net {
+		t.Fatalf("self exchange (%.3g s) should be cheaper than a small networked one (%.3g s)", self, net)
+	}
+}
+
+func TestExchangeValuesMatchesFieldFaceCounts(t *testing.T) {
+	// The perf model's per-message sizes must equal what the functional
+	// exchanger actually sends (grid.Field.FaceCount with halo 1).
+	prop := func(a, b, c uint8) bool {
+		n := grid.Dims{X: int(a%20) + 3, Y: int(b%20) + 3, Z: int(c%20) + 3}
+		f := grid.NewField(n, 1)
+		for dim := 0; dim < 3; dim++ {
+			if faceValues(n, dim) != f.FaceCount(dim) {
+				return false
+			}
+		}
+		return exchangeValues(n) == 2*(f.FaceCount(0)+f.FaceCount(1)+f.FaceCount(2))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncSkewGrowsWithScale(t *testing.T) {
+	net := machine.JaguarPF().Net
+	if syncSkew(net, 1) != 0 {
+		t.Fatal("single task should have no skew")
+	}
+	if syncSkew(net, 4096) <= syncSkew(net, 64) {
+		t.Fatal("skew should grow with task count")
+	}
+}
+
+func TestBreakdownSumsBoundStepTime(t *testing.T) {
+	// For the serialized (bulk) implementations the breakdown components
+	// sum to the step time exactly; for the overlap implementations the
+	// sum may exceed it (that is the point) but each component is bounded
+	// by the step time plus the others.
+	cfg := Config{M: machine.JaguarPF(), Kind: core.BulkSync, Cores: 1536, Threads: 6}
+	e, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range e.Breakdown {
+		if v < 0 {
+			t.Fatalf("negative component in %v", e.Breakdown)
+		}
+		sum += v
+	}
+	if math.Abs(sum-e.StepSec) > 1e-9*e.StepSec {
+		t.Fatalf("bulk breakdown sums to %v, step is %v", sum, e.StepSec)
+	}
+}
+
+func TestLayoutTasksPerNode(t *testing.T) {
+	cfg := Config{M: machine.HopperII(), Kind: core.BulkSync, Cores: 1536, Threads: 6, N: PaperGrid()}
+	l, err := newLayout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.tasks != 256 {
+		t.Fatalf("tasks = %d, want 256", l.tasks)
+	}
+	if l.tasksPerNode != 4 { // 24 cores / 6 threads
+		t.Fatalf("tasksPerNode = %d, want 4", l.tasksPerNode)
+	}
+	// Fewer tasks than one node holds: tasksPerNode clamps to tasks.
+	cfg2 := Config{M: machine.HopperII(), Kind: core.BulkSync, Cores: 24, Threads: 12, N: PaperGrid()}
+	l2, _ := newLayout(cfg2)
+	if l2.tasksPerNode != 2 {
+		t.Fatalf("tasksPerNode = %d, want 2", l2.tasksPerNode)
+	}
+}
+
+func TestWideHaloModelReducesToB(t *testing.T) {
+	// W = 1 wide-halo is the bulk algorithm with the same exchange volume;
+	// the two models must agree within the small structural differences
+	// (boundary-pass accounting).
+	jag := machine.JaguarPF()
+	for _, cores := range []int{192, 1536, 12288} {
+		b, err := Evaluate(Config{M: jag, Kind: core.BulkSync, Cores: cores, Threads: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w1, err := Evaluate(Config{M: jag, Kind: core.WideHaloExt, Cores: cores, Threads: 6, HaloWidth: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := w1.StepSec / b.StepSec; r < 0.95 || r > 1.05 {
+			t.Fatalf("cores=%d: W=1 step %.3g vs bulk %.3g (ratio %.3f)", cores, w1.StepSec, b.StepSec, r)
+		}
+	}
+}
+
+func TestWideHaloModelErrors(t *testing.T) {
+	yona := machine.Yona()
+	// Subdomain thinner than the halo width.
+	if _, err := Evaluate(Config{M: yona, Kind: core.WideHaloExt, Cores: 12, Threads: 1,
+		N: grid.Uniform(12), HaloWidth: 8}); err == nil {
+		t.Fatal("oversized halo width accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package stencil
+
+import "repro/internal/grid"
+
+// Op is a prepared stencil application bound to a coefficient set and a
+// field shape: the 27 (flat-offset, coefficient) pairs for fields with the
+// given strides. Preparing once per run mirrors the paper's constant
+// coefficients ("the values of a_ijk are the same for every grid point and
+// time step").
+type Op struct {
+	c    *Coeffs
+	offs [27]int
+	w    [27]float64
+}
+
+// NewOp prepares an Op for fields shaped like f.
+func NewOp(c *Coeffs, f *grid.Field) *Op {
+	op := &Op{c: c}
+	sx, sy, sz := f.Strides()
+	n := 0
+	for k := -1; k <= 1; k++ {
+		for j := -1; j <= 1; j++ {
+			for i := -1; i <= 1; i++ {
+				op.offs[n] = i*sx + j*sy + k*sz
+				op.w[n] = c.At(i, j, k)
+				n++
+			}
+		}
+	}
+	return op
+}
+
+// Coeffs returns the coefficient set the Op was prepared with.
+func (op *Op) Coeffs() *Coeffs { return op.c }
+
+// Point computes Eq. 2 for the single point (i, j, k): the weighted sum of
+// the 27 neighbors of src, returned (not stored).
+func (op *Op) Point(src *grid.Field, i, j, k int) float64 {
+	base := src.Idx(i, j, k)
+	d := src.Data()
+	var s float64
+	for n := 0; n < 27; n++ {
+		s += op.w[n] * d[base+op.offs[n]]
+	}
+	return s
+}
+
+// Apply computes Eq. 2 for every point of sub (local coordinates, must lie
+// within the interior of src) reading src and writing dst. src and dst must
+// have identical shape and must not alias. The inner x loop is unrolled
+// over the three z-planes of the stencil so a row of points makes three
+// sequential passes over contiguous memory, the access pattern the paper's
+// Fortran kernel relies on for locality.
+func (op *Op) Apply(src, dst *grid.Field, sub grid.Subdomain) {
+	if sub.Empty() {
+		return
+	}
+	s := src.Data()
+	d := dst.Data()
+	hi := sub.Hi()
+	for k := sub.Lo.Z; k < hi.Z; k++ {
+		for j := sub.Lo.Y; j < hi.Y; j++ {
+			base := src.Idx(sub.Lo.X, j, k)
+			out := dst.Idx(sub.Lo.X, j, k)
+			nx := sub.Size.X
+			applyRow(s, d[out:out+nx], base, nx, &op.offs, &op.w)
+		}
+	}
+}
+
+// applyRow computes one x-row of Eq. 2. Factored out so the compiler keeps
+// the 27 weights in registers across the row.
+func applyRow(s []float64, dst []float64, base, nx int, offs *[27]int, w *[27]float64) {
+	for i := 0; i < nx; i++ {
+		p := base + i
+		sum := w[0] * s[p+offs[0]]
+		sum += w[1] * s[p+offs[1]]
+		sum += w[2] * s[p+offs[2]]
+		sum += w[3] * s[p+offs[3]]
+		sum += w[4] * s[p+offs[4]]
+		sum += w[5] * s[p+offs[5]]
+		sum += w[6] * s[p+offs[6]]
+		sum += w[7] * s[p+offs[7]]
+		sum += w[8] * s[p+offs[8]]
+		sum += w[9] * s[p+offs[9]]
+		sum += w[10] * s[p+offs[10]]
+		sum += w[11] * s[p+offs[11]]
+		sum += w[12] * s[p+offs[12]]
+		sum += w[13] * s[p+offs[13]]
+		sum += w[14] * s[p+offs[14]]
+		sum += w[15] * s[p+offs[15]]
+		sum += w[16] * s[p+offs[16]]
+		sum += w[17] * s[p+offs[17]]
+		sum += w[18] * s[p+offs[18]]
+		sum += w[19] * s[p+offs[19]]
+		sum += w[20] * s[p+offs[20]]
+		sum += w[21] * s[p+offs[21]]
+		sum += w[22] * s[p+offs[22]]
+		sum += w[23] * s[p+offs[23]]
+		sum += w[24] * s[p+offs[24]]
+		sum += w[25] * s[p+offs[25]]
+		sum += w[26] * s[p+offs[26]]
+		dst[i] = sum
+	}
+}
+
+// Rows returns the number of x-rows in sub, the iteration count for
+// ApplyRows. Parallel callers collapse the outer (k, j) loops into this
+// flat row index, matching the paper's collapse(2) OpenMP strategy.
+func Rows(sub grid.Subdomain) int { return sub.Size.Y * sub.Size.Z }
+
+// ApplyRows computes Eq. 2 for the x-rows of sub with flattened (k, j)
+// indices in [lo, hi). Row r corresponds to k = sub.Lo.Z + r/sub.Size.Y and
+// j = sub.Lo.Y + r%sub.Size.Y. Disjoint row ranges touch disjoint dst
+// memory, so concurrent calls need no locking.
+func (op *Op) ApplyRows(src, dst *grid.Field, sub grid.Subdomain, lo, hi int) {
+	if sub.Empty() {
+		return
+	}
+	s := src.Data()
+	d := dst.Data()
+	ny := sub.Size.Y
+	nx := sub.Size.X
+	for r := lo; r < hi; r++ {
+		k := sub.Lo.Z + r/ny
+		j := sub.Lo.Y + r%ny
+		base := src.Idx(sub.Lo.X, j, k)
+		out := dst.Idx(sub.Lo.X, j, k)
+		applyRow(s, d[out:out+nx], base, nx, &op.offs, &op.w)
+	}
+}
+
+// Interior returns the subdomain of points of an n-point local domain whose
+// stencil touches no halo point: the domain shrunk by the stencil halo
+// width (1) on every side. If the domain is too thin the result is empty.
+func Interior(n grid.Dims) grid.Subdomain {
+	return grid.Subdomain{
+		Lo:   grid.Dims{X: 1, Y: 1, Z: 1},
+		Size: grid.Dims{X: n.X - 2, Y: n.Y - 2, Z: n.Z - 2},
+	}
+}
+
+// BoundarySlabs returns the six disjoint slabs of boundary points — points
+// whose stencil reads at least one halo point — of an n-point local domain,
+// ordered -z, +z, -y, +y, -x, +x. Together with Interior(n) they tile the
+// domain. These are the points computed after communication completes in
+// the overlap implementations (§IV-C, §IV-D).
+func BoundarySlabs(n grid.Dims) []grid.Subdomain {
+	b := grid.BoxSplit{Local: n, T: 1}
+	return b.Walls()
+}
+
+// InteriorThirds splits the interior of an n-point local domain into three
+// slabs along z, as equal as possible. Implementation §IV-C computes the
+// first third between initiation and completion of the x exchange, the
+// second within the y exchange, and the last within the z exchange.
+func InteriorThirds(n grid.Dims) [3]grid.Subdomain {
+	in := Interior(n)
+	var out [3]grid.Subdomain
+	base := in.Size.Z / 3
+	rem := in.Size.Z % 3
+	lo := in.Lo.Z
+	for t := 0; t < 3; t++ {
+		sz := base
+		if t < rem {
+			sz++
+		}
+		out[t] = grid.Subdomain{
+			Lo:   grid.Dims{X: in.Lo.X, Y: in.Lo.Y, Z: lo},
+			Size: grid.Dims{X: in.Size.X, Y: in.Size.Y, Z: sz},
+		}
+		lo += sz
+	}
+	return out
+}
+
+// Whole returns the full local domain as a subdomain.
+func Whole(n grid.Dims) grid.Subdomain {
+	return grid.Subdomain{Size: n}
+}

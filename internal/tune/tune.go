@@ -1,0 +1,204 @@
+// Package tune implements the automatic tuning the paper's conclusions
+// call for (§VI): searching the space of OpenMP threads per MPI task, CPU
+// box thickness, and GPU thread-block size for the best configuration of
+// an implementation on a machine at a given scale. The paper notes these
+// parameters interact ("the thickness of the CPU box partition ... can
+// itself depend on the number of threads per task") and vary with the
+// strong-scaling local domain size; the tuner searches the joint space.
+//
+// Two strategies are provided: Exhaustive, which sweeps the whole space
+// (the paper's own methodology — "a suite of runs ... that spans the space
+// of various tuning parameters"), and CoordinateDescent, a cheap greedy
+// search that tunes one parameter at a time and converges in a small
+// fraction of the evaluations, the kind of search an auto-tuner would run
+// online.
+package tune
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/perf"
+)
+
+// Point is one configuration in the tuning space.
+type Point struct {
+	Threads   int
+	Thickness int
+	BlockX    int
+	BlockY    int
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("threads=%d thickness=%d block=%dx%d",
+		p.Threads, p.Thickness, p.BlockX, p.BlockY)
+}
+
+// Space is the set of candidate values per parameter.
+type Space struct {
+	Threads   []int
+	Thickness []int
+	BlockX    []int
+	BlockY    []int
+}
+
+// DefaultSpace returns the space the paper sweeps for the given machine
+// and implementation: the machine's thread choices, the box thicknesses of
+// Figures 11-12 (hybrid implementations only), and the block sizes of
+// Figures 7-8 (GPU implementations only).
+func DefaultSpace(m *machine.Machine, kind core.Kind) Space {
+	s := Space{
+		Threads:   append([]int(nil), m.ThreadChoices...),
+		Thickness: []int{1},
+		BlockX:    []int{32},
+		BlockY:    []int{8},
+	}
+	if kind == core.HybridBulkSync || kind == core.HybridOverlap {
+		s.Thickness = []int{1, 2, 3, 5, 8, 12}
+	}
+	if kind.UsesGPU() {
+		s.BlockX = []int{16, 32, 64}
+		s.BlockY = []int{4, 8, 11, 13, 16}
+	}
+	return s
+}
+
+// Result reports a completed search.
+type Result struct {
+	Best        Point
+	GF          float64
+	Evaluations int
+}
+
+// objective evaluates one point; invalid points return ok=false.
+func objective(m *machine.Machine, kind core.Kind, cores int, p Point) (float64, bool) {
+	if p.Threads <= 0 || cores%p.Threads != 0 {
+		return 0, false
+	}
+	e, err := perf.Evaluate(perf.Config{
+		M: m, Kind: kind, Cores: cores, Threads: p.Threads,
+		BoxThickness: p.Thickness, BlockX: p.BlockX, BlockY: p.BlockY,
+	})
+	if err != nil {
+		return 0, false
+	}
+	return e.GF, true
+}
+
+// Exhaustive sweeps the full space.
+func Exhaustive(m *machine.Machine, kind core.Kind, cores int, s Space) (Result, error) {
+	var res Result
+	for _, t := range s.Threads {
+		for _, w := range s.Thickness {
+			for _, bx := range s.BlockX {
+				for _, by := range s.BlockY {
+					p := Point{Threads: t, Thickness: w, BlockX: bx, BlockY: by}
+					gf, ok := objective(m, kind, cores, p)
+					res.Evaluations++
+					if ok && gf > res.GF {
+						res.GF = gf
+						res.Best = p
+					}
+				}
+			}
+		}
+	}
+	if res.GF == 0 {
+		return res, fmt.Errorf("tune: no feasible configuration for %v on %s at %d cores",
+			kind, m.Name, cores)
+	}
+	return res, nil
+}
+
+// CoordinateDescent tunes one parameter at a time, repeating passes until
+// no parameter improves — a greedy search that typically needs a small
+// fraction of the exhaustive evaluations. It is restarted from every
+// thread choice (the thread axis has the strongest interactions), keeping
+// the best outcome.
+func CoordinateDescent(m *machine.Machine, kind core.Kind, cores int, s Space) (Result, error) {
+	var best Result
+	evals := 0
+	eval := func(p Point) (float64, bool) {
+		evals++
+		return objective(m, kind, cores, p)
+	}
+
+	for _, startT := range s.Threads {
+		cur := Point{
+			Threads:   startT,
+			Thickness: s.Thickness[0],
+			BlockX:    s.BlockX[0],
+			BlockY:    s.BlockY[0],
+		}
+		curGF, ok := eval(cur)
+		if !ok {
+			continue
+		}
+		for improved := true; improved; {
+			improved = false
+			axes := []struct {
+				vals []int
+				set  func(*Point, int)
+				get  func(Point) int
+			}{
+				{s.Thickness, func(p *Point, v int) { p.Thickness = v }, func(p Point) int { return p.Thickness }},
+				{s.BlockX, func(p *Point, v int) { p.BlockX = v }, func(p Point) int { return p.BlockX }},
+				{s.BlockY, func(p *Point, v int) { p.BlockY = v }, func(p Point) int { return p.BlockY }},
+				{s.Threads, func(p *Point, v int) { p.Threads = v }, func(p Point) int { return p.Threads }},
+			}
+			for _, ax := range axes {
+				for _, v := range ax.vals {
+					if v == ax.get(cur) {
+						continue
+					}
+					cand := cur
+					ax.set(&cand, v)
+					if gf, ok := eval(cand); ok && gf > curGF {
+						cur, curGF = cand, gf
+						improved = true
+					}
+				}
+			}
+		}
+		if curGF > best.GF {
+			best.GF = curGF
+			best.Best = cur
+		}
+	}
+	best.Evaluations = evals
+	if best.GF == 0 {
+		return best, fmt.Errorf("tune: no feasible configuration for %v on %s at %d cores",
+			kind, m.Name, cores)
+	}
+	return best, nil
+}
+
+// Schedule is a tuned configuration per core count — what an auto-tuned
+// production run would install.
+type Schedule struct {
+	Machine string
+	Kind    core.Kind
+	Entries []ScheduleEntry
+}
+
+// ScheduleEntry is the tuned point for one core count.
+type ScheduleEntry struct {
+	Cores int
+	Point Point
+	GF    float64
+}
+
+// BuildSchedule tunes every core count with coordinate descent.
+func BuildSchedule(m *machine.Machine, kind core.Kind, coreCounts []int) (Schedule, error) {
+	sched := Schedule{Machine: m.Name, Kind: kind}
+	s := DefaultSpace(m, kind)
+	for _, cores := range coreCounts {
+		r, err := CoordinateDescent(m, kind, cores, s)
+		if err != nil {
+			return sched, err
+		}
+		sched.Entries = append(sched.Entries, ScheduleEntry{Cores: cores, Point: r.Best, GF: r.GF})
+	}
+	return sched, nil
+}

@@ -1,0 +1,137 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("bus")
+	s1, e1 := r.Acquire(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first acquire (%v,%v)", s1, e1)
+	}
+	// Requested while busy: starts when free.
+	s2, e2 := r.Acquire(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second acquire (%v,%v), want (10,20)", s2, e2)
+	}
+	// Requested after idle gap: starts at ready time.
+	s3, e3 := r.Acquire(100, 5)
+	if s3 != 100 || e3 != 105 {
+		t.Fatalf("third acquire (%v,%v), want (100,105)", s3, e3)
+	}
+	if r.BusyTime() != 25 {
+		t.Fatalf("BusyTime = %v, want 25", r.BusyTime())
+	}
+	if r.Available() != 105 {
+		t.Fatalf("Available = %v, want 105", r.Available())
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x")
+	r.Acquire(0, 7)
+	r.Reset()
+	if r.Available() != 0 || r.BusyTime() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if r.Name() != "x" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration accepted")
+		}
+	}()
+	NewResource("x").Acquire(0, -1)
+}
+
+func TestResourceNonDecreasingProperty(t *testing.T) {
+	prop := func(reqs []struct {
+		Ready uint16
+		Dur   uint16
+	}) bool {
+		r := NewResource("p")
+		var lastEnd Time
+		for _, q := range reqs {
+			start, end := r.Acquire(Time(q.Ready), Time(q.Dur))
+			if start < Time(q.Ready) || start < lastEnd || end != start+Time(q.Dur) {
+				return false
+			}
+			lastEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(1, 2) != 2 || Max(3, 2) != 3 {
+		t.Fatal("Max broken")
+	}
+	if Time(2.5).Seconds() != 2.5 {
+		t.Fatal("Seconds broken")
+	}
+}
+
+func TestTraceSpansSorted(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("b", "second", 5, 7)
+	tr.Add("a", "first", 1, 3)
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Label != "first" || spans[1].Label != "second" {
+		t.Fatalf("spans %+v", spans)
+	}
+	if spans[0].Duration() != 2 {
+		t.Fatalf("Duration = %v", spans[0].Duration())
+	}
+}
+
+func TestNilTraceNoop(t *testing.T) {
+	var tr *Trace
+	tr.Add("a", "x", 0, 1) // must not panic
+	if tr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+}
+
+func TestTraceLaneBusyAndMakeSpan(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("cpu", "w1", 0, 4)
+	tr.Add("cpu", "w2", 6, 8)
+	tr.Add("gpu", "k", 2, 10)
+	busy := tr.LaneBusy()
+	if busy["cpu"] != 6 || busy["gpu"] != 8 {
+		t.Fatalf("busy %v", busy)
+	}
+	start, end := tr.MakeSpan()
+	if start != 0 || end != 10 {
+		t.Fatalf("extent (%v,%v)", start, end)
+	}
+}
+
+func TestTraceMakeSpanEmpty(t *testing.T) {
+	start, end := NewTrace().MakeSpan()
+	if start != 0 || end != 0 {
+		t.Fatal("empty trace extent nonzero")
+	}
+}
+
+func TestTraceOverlap(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("cpu", "compute", 0, 10)
+	tr.Add("net", "msg1", 2, 5)
+	tr.Add("net", "msg2", 8, 12)
+	if ov := tr.Overlap("cpu", "net"); ov != 5 {
+		t.Fatalf("Overlap = %v, want 5", ov)
+	}
+	if ov := tr.Overlap("cpu", "gpu"); ov != 0 {
+		t.Fatalf("no-lane Overlap = %v", ov)
+	}
+}
