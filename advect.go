@@ -27,6 +27,7 @@
 package advect
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/checkpoint"
@@ -92,6 +93,23 @@ func Run(k Kind, p Problem, o Options) (*Result, error) {
 		return nil, err
 	}
 	return r.Run(p, o)
+}
+
+// RunContext is Run with a cancellation context: the implementations poll
+// ctx between timesteps and abort with its error (satisfying errors.Is
+// against context.Canceled or context.DeadlineExceeded) as soon as it is
+// cancelled, so callers can bound or abandon long simulations.
+func RunContext(ctx context.Context, k Kind, p Problem, o Options) (*Result, error) {
+	o.Ctx = ctx
+	return Run(k, p, o)
+}
+
+// Fingerprint returns a deterministic content hash of a run request —
+// implementation kind, problem, and options (excluding the cancellation
+// context) — suitable as a result-cache key: two requests share a
+// fingerprint exactly when they describe the same computation.
+func Fingerprint(k Kind, p Problem, o Options) string {
+	return core.Fingerprint(k, p, o)
 }
 
 // Machine describes one of the paper's four computers (Table II) together

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 		tasksGPU  = flag.Int("taskspergpu", 0, "MPI tasks sharing one simulated GPU (0 = one device per task)")
 		gpuName   = flag.String("gpu", "c2050", "simulated GPU: c1060 or c2050")
 		verify    = flag.Bool("verify", true, "compare against the analytic solution")
+		timeout   = flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 = no limit); cancellation is checked between timesteps")
 		minTime   = flag.Duration("mintime", 0, "calibrate the step count so the measurement runs at least this long (the paper's methodology; overrides -steps)")
 		trace     = flag.Bool("trace", false, "record the simulated GPU/PCIe timeline and report overlap (GPU implementations)")
 		saveCkpt  = flag.String("save", "", "write a checkpoint of the final state to this file")
@@ -100,7 +102,13 @@ func main() {
 		fmt.Printf("calibrated step count: %d (target %v)\n", n, *minTime)
 		p.Steps = n
 	}
-	res, err := advect.Run(kind, p, o)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := advect.RunContext(ctx, kind, p, o)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,89 @@
+// Command advectd is the reproduction's serving daemon: an HTTP JSON API
+// that accepts simulate (functional runs), predict (performance-model
+// queries), and experiment (figure regeneration) jobs, executes them on a
+// bounded worker pool behind a bounded queue, and answers repeated
+// requests from a content-addressed result cache.
+//
+// Usage:
+//
+//	advectd -addr :8080 -workers 4 -queue 32 -cache 512
+//
+// Submit a job and poll it:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"type":"predict","predict":{"machine":"Yona","kind":"hybrid-overlap","cores":96}}'
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//
+// SIGINT/SIGTERM drain the service: admission stops, in-flight jobs get
+// -drain to finish, stragglers are cancelled between timesteps.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 2, "worker pool size (concurrent jobs)")
+		queue   = flag.Int("queue", 16, "admission queue capacity (full queue returns 429)")
+		cache   = flag.Int("cache", 256, "result cache entries (LRU)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		maxN    = flag.Int("maxn", 0, "largest grid points per dimension a simulate job may request (0 = default)")
+		maxStep = flag.Int("maxsteps", 0, "largest timestep count a simulate job may request (0 = default)")
+	)
+	flag.Parse()
+
+	lim := service.DefaultLimits()
+	if *maxN > 0 {
+		lim.MaxN = *maxN
+	}
+	if *maxStep > 0 {
+		lim.MaxSteps = *maxStep
+	}
+	srv := service.New(service.Config{
+		Workers: *workers, QueueCap: *queue, CacheEntries: *cache,
+		DrainTimeout: *drain, Limits: lim,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("advectd: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("advectd: %v", err)
+		}
+	}()
+	log.Printf("advectd: serving on %s (%d workers, queue %d, cache %d)",
+		ln.Addr(), *workers, *queue, *cache)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("advectd: %v received, draining (deadline %v)", sig, *drain)
+
+	// Stop accepting connections, then drain the pool.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("advectd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		log.Printf("advectd: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("advectd: drained cleanly")
+}

@@ -1,0 +1,132 @@
+// Service: a client walkthrough of the advectd serving layer. It boots the
+// service in-process on a loopback port, then drives it the way an HTTP
+// client would: health check, a predict job submitted twice (the second is
+// answered from the content-addressed result cache), a small functional
+// simulation polled to its verified result, a metrics read showing the
+// cache and queue counters, and a graceful drain.
+//
+// The architecture mirrors the paper's overlap lesson at the serving
+// level: admission, execution, and result delivery are decoupled stages
+// that run concurrently, and backpressure is explicit (a full queue is a
+// 429, not an unbounded buffer).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	srv := service.New(service.Config{Workers: 2, QueueCap: 8, CacheEntries: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("== advectd serving on %s (2 workers, queue 8)\n\n", ts.URL)
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(ts.URL+"/healthz", &health)
+	fmt.Printf("healthz: %s\n\n", health.Status)
+
+	// A predict job: query the calibrated performance model for the full
+	// overlap implementation at machine scale. Submitting the identical
+	// request again is answered from the result cache without touching the
+	// queue or the workers.
+	predict := `{"type":"predict","predict":{"machine":"Yona","kind":"hybrid-overlap","cores":96,"threads":6}}`
+	fmt.Println("== predict: Yona, hybrid-overlap, 96 cores")
+	v1 := post(ts.URL, predict)
+	waitDone(ts.URL, v1.ID)
+	var pres struct {
+		GF      float64 `json:"gf"`
+		StepSec float64 `json:"step_sec"`
+	}
+	getJSON(fmt.Sprintf("%s/v1/jobs/%s/result", ts.URL, v1.ID), &pres)
+	fmt.Printf("  %s: model predicts %.1f GF (%.4f s/step)\n", v1.ID, pres.GF, pres.StepSec)
+	v2 := post(ts.URL, predict)
+	fmt.Printf("  %s: resubmitted -> state %s, cache_hit=%v (no worker involved)\n\n",
+		v2.ID, v2.State, v2.CacheHit)
+
+	// A functional simulation: run the bulk-synchronous implementation on
+	// 2 in-process MPI tasks and poll for the verified result.
+	simulate := `{"type":"simulate","simulate":{"kind":"bulk","n":24,"steps":10,"tasks":2,"threads":2,"verify":true}}`
+	fmt.Println("== simulate: bulk, 24^3, 10 steps, 2 tasks x 2 threads")
+	v3 := post(ts.URL, simulate)
+	fmt.Printf("  %s: accepted, polling...\n", v3.ID)
+	waitDone(ts.URL, v3.ID)
+	var sres struct {
+		GF   float64 `json:"gf"`
+		L2   float64 `json:"l2"`
+		LInf float64 `json:"linf"`
+	}
+	getJSON(fmt.Sprintf("%s/v1/jobs/%s/result", ts.URL, v3.ID), &sres)
+	fmt.Printf("  %s: done, %.2f GF, error norms L2=%.3e Linf=%.3e\n\n", v3.ID, sres.GF, sres.L2, sres.LInf)
+
+	// The metrics document carries the queue, worker, cache, and per-type
+	// outcome counters, in Prometheus text or JSON.
+	var snap service.Snapshot
+	getJSON(ts.URL+"/metrics?format=json", &snap)
+	fmt.Println("== metrics (JSON form)")
+	fmt.Printf("  cache: %d hit, %d miss (the repeated predict hit)\n", snap.Cache.Hits, snap.Cache.Misses)
+	fmt.Printf("  jobs:  predict %v, simulate %v\n\n", snap.Jobs["predict"], snap.Jobs["simulate"])
+
+	// Graceful drain: admission stops, in-flight jobs finish.
+	if err := srv.Shutdown(); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	fmt.Println("== drained cleanly")
+}
+
+func post(base, body string) service.View {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		log.Fatalf("submit: %s", resp.Status)
+	}
+	var v service.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func getJSON(url string, doc any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitDone(base, id string) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var v service.View
+		getJSON(base+"/v1/jobs/"+id, &v)
+		if v.State == service.StateDone {
+			return
+		}
+		if v.State.Terminal() {
+			log.Fatalf("job %s landed in %s: %s", id, v.State, v.Error)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("job %s stuck in %s", id, v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -262,6 +263,31 @@ type Options struct {
 	// with PCIe transfers or boundary kernels — the quantity the paper's
 	// overlap implementations exist to maximize. GPU implementations only.
 	TraceOverlap bool
+
+	// Ctx, when non-nil, carries a cancellation signal into the run: the
+	// functional implementations poll it between timesteps and abort with
+	// its error, so a cancelled request stops a long simulation instead of
+	// running it to completion. Nil means run to completion. Ctx does not
+	// participate in Canonical or Fingerprint — two runs that differ only
+	// in their context are the same computation.
+	Ctx context.Context
+}
+
+// Context returns the run's cancellation context, never nil.
+func (o Options) Context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// CheckCancel returns the context's error if the options carry a cancelled
+// context, nil otherwise. Implementations call it between timesteps.
+func (o Options) CheckCancel() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // GPUModel names a simulated device generation.

@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// FuzzParseKind checks that ParseKind never panics, that every accepted
+// identifier round-trips through Kind.String, and that every Kind.String
+// is accepted.
+func FuzzParseKind(f *testing.F) {
+	for _, k := range append(Kinds(), WideHaloExt) {
+		f.Add(k.String())
+	}
+	f.Add("")
+	f.Add("single ")
+	f.Add("Kind(3)")
+	f.Add("hybrid-overlap\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKind(s)
+		if err != nil {
+			return
+		}
+		if k.String() != s {
+			t.Errorf("ParseKind(%q) = %v, but %v.String() = %q", s, k, k, k.String())
+		}
+	})
+}

@@ -24,6 +24,7 @@ func (bulkSync) Run(p core.Problem, o core.Options) (*core.Result, error) {
 		whole := stencil.Whole(rc.cur.N)
 		rows := stencil.Rows(whole)
 		for s := 0; s < rc.p.Steps; s++ {
+			checkCancelRank(rc.o)
 			rc.ex.exchangeAll()
 			rc.team.ParallelFor(rows, par.Static, 0, func(lo, hi int) {
 				rc.op.ApplyRows(rc.cur, rc.nxt, whole, lo, hi)
@@ -117,7 +118,7 @@ func runMPI(kind core.Kind, p core.Problem, o core.Options, steps func(rankCtx))
 	})
 
 	if runErr != nil {
-		return nil, runErr
+		return nil, cancelOr(o, runErr)
 	}
 	res := &core.Result{Kind: kind, Final: final, Stats: map[string]float64{
 		"tasks":         float64(o.Tasks),

@@ -1,0 +1,77 @@
+package impl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestCancelBeforeRun checks that an already-cancelled context stops every
+// implementation at the first timestep with the context's error.
+func TestCancelBeforeRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, k := range append(core.Kinds(), core.WideHaloExt) {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			r, err := core.New(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := core.Options{Tasks: 2, Threads: 1, Ctx: ctx}
+			if !k.UsesMPI() {
+				o.Tasks = 1
+			}
+			_, err = r.Run(core.DefaultProblem(12, 50), o)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+		})
+	}
+}
+
+// TestCancelMidRun checks that cancellation arriving while a distributed
+// simulation is stepping aborts it between timesteps instead of running it
+// to completion.
+func TestCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		r, err := core.New(core.BulkSync)
+		if err != nil {
+			done <- err
+			return
+		}
+		// Enough steps that the run cannot finish before the cancel lands.
+		_, err = r.Run(core.DefaultProblem(48, 1_000_000), core.Options{Tasks: 2, Ctx: ctx})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not stop after cancellation")
+	}
+}
+
+// TestDeadlineExceeded checks that a context deadline surfaces as
+// context.DeadlineExceeded through the public error chain.
+func TestDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	r, err := core.New(core.SingleTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run(core.DefaultProblem(48, 1_000_000), core.Options{Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}

@@ -60,6 +60,7 @@ func runGPUMPI(kind core.Kind, p core.Problem, o core.Options, overlap bool) (*c
 		}
 
 		for step := 0; step < rc.p.Steps; step++ {
+			checkCancelRank(rc.o)
 			if overlap {
 				// §IV-G: interior kernel first, so it runs while the CPU
 				// communicates.

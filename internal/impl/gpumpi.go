@@ -107,7 +107,7 @@ func runMPIGPU(kind core.Kind, p core.Problem, o core.Options, steps func(gpuRan
 	})
 
 	if runErr != nil {
-		return nil, runErr
+		return nil, cancelOr(o, runErr)
 	}
 	var kernels, bytesPCI float64
 	for _, dev := range pool {

@@ -82,6 +82,9 @@ func (gpuResident) Run(p core.Problem, o core.Options) (*core.Result, error) {
 	simStart := host.Now()
 	wallStart := time.Now()
 	for s := 0; s < p.Steps; s++ {
+		if err := o.CheckCancel(); err != nil {
+			return nil, fmt.Errorf("impl: run cancelled at step %d: %w", s, err)
+		}
 		host.Set(launchResidentStep(st, stream, host.Now(), o.BlockX, o.BlockY))
 		st.flip()
 	}

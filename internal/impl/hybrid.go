@@ -161,6 +161,7 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 		simStart := host.Now()
 		t0 := time.Now()
 		for step := 0; step < p.Steps; step++ {
+			checkCancelRank(o)
 			if !h.overlap {
 				// §IV-H: all exchanges up front, synchronously.
 				// Inner boundary: GPU block outer layer → CPU field.
@@ -256,7 +257,7 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 	})
 
 	if runErr != nil {
-		return nil, runErr
+		return nil, cancelOr(o, runErr)
 	}
 	var kernels, pciByte float64
 	for _, dev := range pool {

@@ -171,6 +171,32 @@ func distributedNorms(c *mpi.Comm, team *par.Team, p core.Problem, sub grid.Subd
 	}
 }
 
+// checkCancelRank polls the run's cancellation context from inside a rank
+// goroutine and panics with the context error when it fires. The panic
+// poisons the world (unblocking ranks already waiting in an exchange), and
+// safeWorldRun converts it back into an error; cancelOr then maps whatever
+// rank's panic won the race onto the context error, so callers see a clean
+// cancellation instead of a poisoned-world message.
+func checkCancelRank(o core.Options) {
+	if err := o.CheckCancel(); err != nil {
+		panic(err)
+	}
+}
+
+// cancelOr maps a world-poisoning failure back onto the cancellation that
+// caused it: when the options context is cancelled, any rank error —
+// whichever rank's panic was observed first — is reported as the context
+// error. Genuine failures pass through unchanged.
+func cancelOr(o core.Options, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := o.CheckCancel(); cerr != nil {
+		return fmt.Errorf("impl: run cancelled: %w", cerr)
+	}
+	return err
+}
+
 // safeWorldRun executes the world and converts a rank panic (which
 // mpi.World.Run re-panics after poisoning the world) into an error, so the
 // public Run API reports failures instead of crashing the caller.

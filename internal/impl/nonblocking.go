@@ -22,6 +22,7 @@ func (nonblockingOverlap) Run(p core.Problem, o core.Options) (*core.Result, err
 		thirds := stencil.InteriorThirds(rc.cur.N)
 		boundary := stencil.BoundarySlabs(rc.cur.N)
 		for s := 0; s < rc.p.Steps; s++ {
+			checkCancelRank(rc.o)
 			for dim := 0; dim < 3; dim++ {
 				ph := rc.ex.start(dim)
 				sub := thirds[dim]

@@ -1,6 +1,7 @@
 package impl
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -42,6 +43,9 @@ func (singleTask) Run(p core.Problem, o core.Options) (*core.Result, error) {
 
 	start := time.Now()
 	for s := 0; s < p.Steps; s++ {
+		if err := o.CheckCancel(); err != nil {
+			return nil, fmt.Errorf("impl: run cancelled at step %d: %w", s, err)
+		}
 		// Step 1: periodic halo copy. The three dimension sweeps are each
 		// threaded over their outer loop; keeping them serialized preserves
 		// the corner-propagation order.

@@ -24,6 +24,7 @@ func (threadedOverlap) Run(p core.Problem, o core.Options) (*core.Result, error)
 		boundary := stencil.BoundarySlabs(rc.cur.N)
 		rows := stencil.Rows(interior)
 		for s := 0; s < rc.p.Steps; s++ {
+			checkCancelRank(rc.o)
 			rc.team.RunWithMaster(func() {
 				rc.ex.exchangeAll()
 			}, rows, 1, func(lo, hi int) {

@@ -77,6 +77,7 @@ func (wideHalo) Run(p core.Problem, o core.Options) (*core.Result, error) {
 		c.Barrier()
 		t0 := time.Now()
 		for done := 0; done < p.Steps; {
+			checkCancelRank(o)
 			// One wide exchange covers the next burst of inner steps.
 			burst := W
 			if p.Steps-done < burst {
@@ -115,7 +116,7 @@ func (wideHalo) Run(p core.Problem, o core.Options) (*core.Result, error) {
 		mu.Unlock()
 	})
 	if runErr != nil {
-		return nil, runErr
+		return nil, cancelOr(o, runErr)
 	}
 
 	res := &core.Result{Kind: core.WideHaloExt, Final: final, Stats: map[string]float64{

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The service benchmarks measure the end-to-end request path for a predict
+// job — POST /v1/jobs through admission, and for the uncached variant
+// through the queue, a worker, and the performance model. The committed
+// baseline lives in BENCH_service.json.
+
+func benchServer(b *testing.B) (*Server, *httptest.Server) {
+	b.Helper()
+	s := New(Config{Workers: 2, QueueCap: 64})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return s, ts
+}
+
+func benchSubmit(b *testing.B, ts *httptest.Server, wantStatus int) string {
+	b.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(predictBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		b.Fatalf("submit: want %d, got %v", wantStatus, resp.Status)
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		b.Fatal(err)
+	}
+	return v.ID
+}
+
+func (s *Server) benchWaitDone(b *testing.B, id string) {
+	b.Helper()
+	j, ok := s.store.Get(id)
+	if !ok {
+		b.Fatalf("job %s missing", id)
+	}
+	for !j.State().Terminal() {
+		time.Sleep(50 * time.Microsecond)
+	}
+	if st := j.State(); st != StateDone {
+		b.Fatalf("job %s landed in %s", id, st)
+	}
+}
+
+// BenchmarkPredictCached measures a repeated identical predict request:
+// after the first completion every submission is answered synchronously
+// from the result cache (200, no queue, no worker).
+func BenchmarkPredictCached(b *testing.B) {
+	s, ts := benchServer(b)
+	s.benchWaitDone(b, benchSubmit(b, ts, http.StatusAccepted))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSubmit(b, ts, http.StatusOK)
+	}
+}
+
+// BenchmarkPredictUncached measures the same request with the cache purged
+// each iteration, so every submission runs the full queue → worker →
+// performance-model path and is polled to completion.
+func BenchmarkPredictUncached(b *testing.B) {
+	s, ts := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.cache.purge()
+		b.StartTimer()
+		s.benchWaitDone(b, benchSubmit(b, ts, http.StatusAccepted))
+	}
+}

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	doc := func(i int) json.RawMessage {
+		return json.RawMessage(fmt.Sprintf(`{"v":%d}`, i))
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), doc(i))
+	}
+	// Touch k0 so k1 becomes least recently used, then overflow.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", doc(3))
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived eviction; LRU order not honored")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	st := c.Stats()
+	if st.Size != 3 || st.Capacity != 3 {
+		t.Fatalf("size/capacity %+v", st)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// 5 successful Gets, 1 failed.
+	if st.Hits != 4 || st.Misses != 1 {
+		t.Fatalf("hits/misses %+v", st)
+	}
+}
+
+func TestCacheUpdateMovesToFront(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", json.RawMessage(`1`))
+	c.Put("b", json.RawMessage(`2`))
+	c.Put("a", json.RawMessage(`3`)) // update, not insert: refreshes recency
+	c.Put("c", json.RawMessage(`4`)) // must evict b, not a
+	if v, ok := c.Get("a"); !ok || string(v) != `3` {
+		t.Fatalf("a = %s, %v", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", json.RawMessage(`1`))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+func TestCachePurgeKeepsCounters(t *testing.T) {
+	c := NewCache(4)
+	c.Put("a", json.RawMessage(`1`))
+	c.Get("a")
+	c.purge()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("purge left entries behind")
+	}
+	st := c.Stats()
+	if st.Size != 0 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats after purge %+v", st)
+	}
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	_ "repro/internal/impl" // register the functional implementations
+	"repro/internal/machine"
+	"repro/internal/perf"
+)
+
+// SimulateResult is the rendered document of a simulate job. The final
+// field is deliberately omitted — results are status documents, not
+// multi-megabyte state dumps.
+type SimulateResult struct {
+	Kind       string             `json:"kind"`
+	ElapsedSec float64            `json:"elapsed_sec"`
+	GF         float64            `json:"gf"`
+	L2         float64            `json:"l2,omitempty"`
+	LInf       float64            `json:"linf,omitempty"`
+	MassDrift  float64            `json:"mass_drift,omitempty"`
+	Stats      map[string]float64 `json:"stats,omitempty"`
+}
+
+// PredictResult is the rendered document of a predict job.
+type PredictResult struct {
+	Machine   string             `json:"machine"`
+	Kind      string             `json:"kind"`
+	Cores     int                `json:"cores"`
+	Threads   int                `json:"threads"`
+	StepSec   float64            `json:"step_sec"`
+	GF        float64            `json:"gf"`
+	Breakdown map[string]float64 `json:"breakdown,omitempty"`
+}
+
+// ExperimentResult is the rendered document of an experiment job: the
+// harness's text tables and charts, verbatim.
+type ExperimentResult struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	PaperRef string `json:"paper_ref"`
+	Output   string `json:"output"`
+}
+
+// execute runs a validated request to completion under ctx and returns the
+// rendered result document.
+func execute(ctx context.Context, req Request) (json.RawMessage, error) {
+	switch req.Type {
+	case TypeSimulate:
+		return executeSimulate(ctx, req.Simulate)
+	case TypePredict:
+		return executePredict(ctx, req.Predict)
+	case TypeExperiment:
+		return executeExperiment(ctx, req.Experiment)
+	}
+	return nil, fmt.Errorf("service: unknown job type %q", req.Type)
+}
+
+func executeSimulate(ctx context.Context, sr *SimulateRequest) (json.RawMessage, error) {
+	kind, err := core.ParseKind(sr.Kind)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	o := sr.options()
+	o.Ctx = ctx // cancellation is polled between timesteps
+	res, err := r.Run(sr.problem(), o)
+	if err != nil {
+		return nil, err
+	}
+	doc := SimulateResult{
+		Kind:       kind.String(),
+		ElapsedSec: res.Elapsed.Seconds(),
+		GF:         res.GF,
+		Stats:      res.Stats,
+	}
+	if sr.Verify {
+		doc.L2 = res.Norms.L2
+		doc.LInf = res.Norms.LInf
+		doc.MassDrift = res.MassDrift
+	}
+	return json.Marshal(doc)
+}
+
+func executePredict(ctx context.Context, pr *PredictRequest) (json.RawMessage, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	kind, err := core.ParseKind(pr.Kind)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.ByName(pr.Machine)
+	if err != nil {
+		return nil, err
+	}
+	cfg := perf.Config{
+		M: m, Kind: kind,
+		Cores: pr.Cores, Threads: pr.Threads,
+		BlockX: pr.BlockX, BlockY: pr.BlockY,
+		BoxThickness: pr.BoxThickness, HaloWidth: pr.HaloWidth,
+	}
+	if pr.N > 0 {
+		cfg.N = core.DefaultProblem(pr.N, 0).N
+	}
+	est, err := perf.Evaluate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(PredictResult{
+		Machine: m.Name, Kind: kind.String(),
+		Cores: est.Config.Cores, Threads: est.Config.Threads,
+		StepSec: est.StepSec, GF: est.GF,
+		Breakdown: est.Breakdown,
+	})
+}
+
+func executeExperiment(ctx context.Context, er *ExperimentRequest) (json.RawMessage, error) {
+	// Harness experiments are bounded but not interruptible mid-run; honor
+	// a cancellation that landed while the job was queued.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	exp, err := harness.ByID(er.ID)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := exp.Run(&buf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(ExperimentResult{
+		ID: exp.ID, Title: exp.Title, PaperRef: exp.PaperRef,
+		Output: buf.String(),
+	})
+}

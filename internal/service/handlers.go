@@ -1,0 +1,174 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// errorDoc is the JSON error envelope.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// routes builds the HTTP API.
+//
+//	POST   /v1/jobs             submit a job (202 queued; 200 on a cache hit)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result result document (202 while pending)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/kinds            implementation catalogue
+//	GET    /v1/experiments      experiment catalogue
+//	GET    /metrics             Prometheus text (JSON with ?format=json)
+//	GET    /healthz             liveness
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case err == nil:
+		status := http.StatusAccepted
+		if j.State() == StateDone { // served from the result cache
+			status = http.StatusOK
+		}
+		writeJSON(w, status, j.View())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds()+0.5)))
+		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
+	default:
+		var re *RequestError
+		if errors.As(err, &re) {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.List()
+	views := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.View())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	if doc, ok := j.Result(); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(doc)
+		return
+	}
+	v := j.View()
+	switch v.State {
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: v.Error})
+	case StateCancelled:
+		writeJSON(w, http.StatusGone, errorDoc{Error: "job cancelled"})
+	default: // queued or running: poll again
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	if !j.Cancel(time.Now()) {
+		writeJSON(w, http.StatusConflict, errorDoc{Error: "job already finished"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleKinds(w http.ResponseWriter, r *http.Request) {
+	type kindDoc struct {
+		ID       string `json:"id"`
+		Section  string `json:"section"`
+		Describe string `json:"describe"`
+	}
+	var kinds []kindDoc
+	for _, k := range append(core.Kinds(), core.WideHaloExt) {
+		kinds = append(kinds, kindDoc{ID: k.String(), Section: k.Section(), Describe: k.Describe()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kinds": kinds})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type expDoc struct {
+		ID       string `json:"id"`
+		Title    string `json:"title"`
+		PaperRef string `json:"paper_ref"`
+	}
+	var exps []expDoc
+	for _, e := range append(harness.All(), harness.Extensions()...) {
+		exps = append(exps, expDoc{ID: e.ID, Title: e.Title, PaperRef: e.PaperRef})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": exps})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.MetricsSnapshot()
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(snap.Prometheus()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status})
+}

@@ -1,0 +1,59 @@
+package service
+
+import "sync"
+
+// Queue is the bounded admission queue between the HTTP handlers and the
+// worker pool. Admission never blocks: TryPush either enqueues or reports
+// the queue full, and the handler turns a full queue into 429 with a
+// Retry-After estimate — explicit backpressure instead of unbounded
+// buffering.
+type Queue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+// NewQueue builds a queue holding at most capacity jobs.
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{ch: make(chan *Job, capacity)}
+}
+
+// TryPush enqueues the job, or reports false when the queue is full or
+// closed for draining.
+func (q *Queue) TryPush(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// Chan is the worker-side receive end; it is closed by Close after the
+// remaining jobs drain.
+func (q *Queue) Chan() <-chan *Job { return q.ch }
+
+// Close stops admission. Jobs already queued remain receivable; the
+// channel closes once they drain.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Depth returns the number of queued jobs.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return cap(q.ch) }

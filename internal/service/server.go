@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the service. The zero value selects the defaults.
+type Config struct {
+	// Workers is the execution pool size (concurrent jobs). Default 2.
+	Workers int
+	// QueueCap bounds the admission queue; a full queue rejects with 429.
+	// Default 16.
+	QueueCap int
+	// CacheEntries bounds the result cache. Default 256.
+	CacheEntries int
+	// DrainTimeout bounds how long Shutdown waits for queued and running
+	// jobs before cancelling them. Default 30s.
+	DrainTimeout time.Duration
+	// Limits bounds what a single request may ask for.
+	Limits Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = 16
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Limits == (Limits{}) {
+		c.Limits = DefaultLimits()
+	}
+	return c
+}
+
+// Server assembles the stages: handlers admit jobs into the queue, the
+// pool executes them, the store and cache deliver results, and metrics
+// watch all of it. Construct with New, expose via Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	store   *Store
+	queue   *Queue
+	cache   *Cache
+	metrics *Metrics
+	pool    *Pool
+	mux     *http.ServeMux
+
+	baseCtx    context.Context    // parent of every job context
+	cancelJobs context.CancelFunc // fired when the drain deadline passes
+	draining   atomic.Bool
+}
+
+// New builds and starts a server (workers spin up immediately).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		store:      NewStore(),
+		queue:      NewQueue(cfg.QueueCap),
+		cache:      NewCache(cfg.CacheEntries),
+		metrics:    NewMetrics(time.Now()),
+		baseCtx:    ctx,
+		cancelJobs: cancel,
+	}
+	s.pool = NewPool(cfg.Workers, s.queue, s.runJob)
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Submit validates and admits a request, serving it from the result cache
+// when possible. It returns the job and, on rejection, a non-nil error:
+// ErrQueueFull (429) or ErrDraining (503).
+func (s *Server) Submit(req Request) (*Job, error) {
+	if err := req.Validate(s.cfg.Limits); err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	if s.draining.Load() {
+		s.metrics.CountJob(req.Type, outcomeRejected)
+		return nil, ErrDraining
+	}
+	now := time.Now()
+	j := newJob(s.store.NewID(), req, s.baseCtx, now)
+	if doc, ok := s.cache.Get(j.cacheKey); ok {
+		j.completeFromCache(doc, now)
+		s.store.Add(j)
+		s.metrics.CountJob(req.Type, outcomeSubmitted)
+		s.metrics.CountJob(req.Type, outcomeCached)
+		return j, nil
+	}
+	if !s.queue.TryPush(j) {
+		s.metrics.CountJob(req.Type, outcomeRejected)
+		return nil, ErrQueueFull
+	}
+	s.store.Add(j)
+	s.metrics.CountJob(req.Type, outcomeSubmitted)
+	return j, nil
+}
+
+// runJob is the worker loop body: claim, execute under the job context,
+// land the terminal state, feed the cache and the metrics.
+func (s *Server) runJob(j *Job) {
+	if !j.claim(time.Now()) {
+		return // cancelled while queued
+	}
+	start := time.Now()
+	doc, err := execute(j.ctx, j.req)
+	elapsed := time.Since(start)
+	now := time.Now()
+	switch {
+	case err == nil:
+		j.finish(StateDone, doc, "", now)
+		s.cache.Put(j.cacheKey, doc)
+		s.metrics.CountJob(j.req.Type, outcomeDone)
+		s.metrics.ObserveLatency(j.req.Type, elapsed)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateCancelled, nil, err.Error(), now)
+		s.metrics.CountJob(j.req.Type, outcomeCancelled)
+	default:
+		j.finish(StateFailed, nil, err.Error(), now)
+		s.metrics.CountJob(j.req.Type, outcomeFailed)
+	}
+}
+
+// RetryAfter estimates how long a rejected client should wait: the queue
+// is full, so roughly one queue's worth of work per pool, using the mean
+// completed-job latency (1s before any job completes), clamped to [1, 60]
+// seconds.
+func (s *Server) RetryAfter() time.Duration {
+	mean, ok := s.metrics.MeanLatency()
+	if !ok {
+		mean = time.Second
+	}
+	wait := time.Duration(float64(mean) * float64(s.queue.Depth()+1) / float64(s.pool.Workers()))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	if wait > time.Minute {
+		wait = time.Minute
+	}
+	return wait
+}
+
+// MetricsSnapshot assembles the current metrics document.
+func (s *Server) MetricsSnapshot() Snapshot {
+	return s.metrics.Snapshot(
+		time.Now(),
+		QueueGauges{Depth: s.queue.Depth(), Capacity: s.queue.Cap()},
+		WorkerGauges{Busy: s.pool.Busy(), Total: s.pool.Workers()},
+		s.cache.Stats(),
+	)
+}
+
+// Shutdown drains the service: admission stops (new submissions get 503),
+// queued and running jobs are given the drain timeout to finish, and any
+// still running at the deadline are cancelled through their contexts (the
+// implementations stop between timesteps). It returns nil on a clean
+// drain, or an error naming the jobs that had to be cancelled.
+func (s *Server) Shutdown() error {
+	s.draining.Store(true)
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.pool.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelJobs()
+		return nil
+	case <-time.After(s.cfg.DrainTimeout):
+		s.cancelJobs()
+		<-done
+		return fmt.Errorf("service: drain deadline %v exceeded; in-flight jobs were cancelled", s.cfg.DrainTimeout)
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ErrQueueFull is returned by Submit when the admission queue is full; the
+// HTTP layer turns it into 429 with a Retry-After header.
+var ErrQueueFull = errors.New("service: queue full")
+
+// ErrDraining is returned by Submit once shutdown has begun (503).
+var ErrDraining = errors.New("service: shutting down")
+
+// RequestError marks a malformed request (400).
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// writeJSON serializes a response document.
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

@@ -1,0 +1,476 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, View) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode job view: %v", err)
+		}
+	}
+	return resp, v
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want State) View {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v View
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v.State == want {
+			return v
+		}
+		if v.State.Terminal() {
+			t.Fatalf("job %s landed in %s (error %q), want %s", id, v.State, v.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, v.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func metricsJSON(t *testing.T, ts *httptest.Server) Snapshot {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const simulateBody = `{"type":"simulate","simulate":{"kind":"bulk","n":16,"steps":5,"tasks":2,"threads":2,"verify":true}}`
+const predictBody = `{"type":"predict","predict":{"machine":"Yona","kind":"hybrid-overlap","cores":96,"threads":6}}`
+
+// slowBody is a simulate job big enough that it cannot finish before the
+// test cancels it (~10^9 point-updates), keeping a worker busy on demand.
+const slowBody = `{"type":"simulate","simulate":{"kind":"bulk","n":64,"steps":4000,"tasks":2}}`
+
+// TestSimulatePollResult is the end-to-end flow: submit a functional
+// simulation, poll it to done, and fetch the verified result.
+func TestSimulatePollResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCap: 8})
+	resp, v := postJob(t, ts, simulateBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %v", resp.Status)
+	}
+	if v.State != StateQueued && v.State != StateRunning {
+		t.Fatalf("fresh job in state %s", v.State)
+	}
+	waitState(t, ts, v.ID, StateDone)
+
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result: %v", rr.Status)
+	}
+	var res SimulateResult
+	if err := json.NewDecoder(rr.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "bulk" || res.GF <= 0 {
+		t.Fatalf("implausible result %+v", res)
+	}
+	if res.L2 <= 0 || res.L2 > 1 {
+		t.Fatalf("implausible L2 %v", res.L2)
+	}
+	if res.Stats["tasks"] != 2 {
+		t.Fatalf("stats %v lack tasks=2", res.Stats)
+	}
+}
+
+// TestExperimentJob runs a harness experiment through the service.
+func TestExperimentJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	resp, v := postJob(t, ts, `{"type":"experiment","experiment":{"id":"table1"}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %v", resp.Status)
+	}
+	waitState(t, ts, v.ID, StateDone)
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	var res ExperimentResult
+	if err := json.NewDecoder(rr.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table1" || res.Output == "" {
+		t.Fatalf("implausible experiment result %+v", res)
+	}
+}
+
+// TestPredictCacheHit checks the content-addressed cache: a repeated
+// identical predict request is answered instantly from the cache, visible
+// both on the job (cache_hit, immediate done) and in the /metrics
+// counters (JSON and Prometheus text).
+func TestPredictCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+
+	resp, v1 := postJob(t, ts, predictBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %v", resp.Status)
+	}
+	waitState(t, ts, v1.ID, StateDone)
+
+	resp, v2 := postJob(t, ts, predictBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit: want 200, got %v", resp.Status)
+	}
+	if !v2.CacheHit || v2.State != StateDone {
+		t.Fatalf("second submit not served from cache: %+v", v2)
+	}
+	if v1.CacheKey != v2.CacheKey {
+		t.Fatalf("cache keys differ: %s vs %s", v1.CacheKey, v2.CacheKey)
+	}
+
+	// Both jobs must deliver the same result document.
+	var docs [2]PredictResult
+	for i, id := range []string{v1.ID, v2.ID} {
+		rr, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(rr.Body).Decode(&docs[i]); err != nil {
+			t.Fatal(err)
+		}
+		rr.Body.Close()
+	}
+	if !reflect.DeepEqual(docs[0], docs[1]) {
+		t.Fatalf("cached result differs: %+v vs %+v", docs[0], docs[1])
+	}
+	if docs[1].GF <= 0 {
+		t.Fatalf("implausible GF %v", docs[1].GF)
+	}
+
+	snap := metricsJSON(t, ts)
+	if snap.Cache.Hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", snap.Cache.Hits)
+	}
+	if snap.Cache.Misses < 1 {
+		t.Fatalf("cache misses = %d, want >= 1", snap.Cache.Misses)
+	}
+	if snap.Jobs[TypePredict][outcomeCached] != 1 {
+		t.Fatalf("cached outcome counter = %v", snap.Jobs[TypePredict])
+	}
+
+	// The same counters in Prometheus text form.
+	rr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	raw, err := io.ReadAll(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`advectd_cache_events_total{event="hit"} 1`,
+		`advectd_jobs_total{type="predict",outcome="cached"} 1`,
+		`advectd_job_duration_seconds_count{type="predict"} 1`,
+		"# TYPE advectd_queue_depth gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestQueueBackpressure checks admission control: with one worker pinned
+// and the queue full, the next submission is shed with 429 and a
+// Retry-After hint instead of queueing unboundedly.
+func TestQueueBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1, DrainTimeout: 10 * time.Second})
+
+	// First slow job occupies the worker; the distinct second one fills
+	// the queue. (Identical bodies would dedupe through the cache only
+	// after completion, but distinct bodies keep the scenario honest.)
+	_, v1 := postJob(t, ts, slowBody)
+	waitState(t, ts, v1.ID, StateRunning)
+	resp, v2 := postJob(t, ts, `{"type":"simulate","simulate":{"kind":"bulk","n":64,"steps":4001,"tasks":2}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue fill: %v", resp.Status)
+	}
+
+	resp, _ = postJob(t, ts, `{"type":"simulate","simulate":{"kind":"bulk","n":64,"steps":4002,"tasks":2}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload: want 429, got %v", resp.Status)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q not a positive integer", resp.Header.Get("Retry-After"))
+	}
+	snap := metricsJSON(t, ts)
+	if snap.Jobs[TypeSimulate][outcomeRejected] != 1 {
+		t.Fatalf("rejected counter %v", snap.Jobs[TypeSimulate])
+	}
+	if snap.Queue.Depth != 1 || snap.Queue.Capacity != 1 {
+		t.Fatalf("queue gauges %+v", snap.Queue)
+	}
+	if snap.Workers.Busy != 1 || snap.Workers.Utilization != 1 {
+		t.Fatalf("worker gauges %+v", snap.Workers)
+	}
+
+	// Cancel both jobs so shutdown is quick.
+	for _, id := range []string{v1.ID, v2.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		rr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr.Body.Close()
+	}
+	waitState(t, ts, v1.ID, StateCancelled)
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("shutdown after cancel: %v", err)
+	}
+}
+
+// TestCancelRunningJob checks that DELETE on a running simulation stops it
+// between timesteps and surfaces the cancelled state and 410 result.
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 2})
+	_, v := postJob(t, ts, slowBody)
+	waitState(t, ts, v.ID, StateRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %v", resp.Status)
+	}
+	waitState(t, ts, v.ID, StateCancelled)
+
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusGone {
+		t.Fatalf("result of cancelled job: want 410, got %v", rr.Status)
+	}
+
+	// Cancelling a finished job conflicts.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel: want 409, got %v", resp.Status)
+	}
+}
+
+// TestGracefulDrain checks that Shutdown finishes queued and running jobs
+// when they fit in the deadline, and that admission returns 503 afterward.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 8, DrainTimeout: 60 * time.Second})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"type":"simulate","simulate":{"kind":"single","n":16,"steps":%d}}`, 3+i)
+		resp, v := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %v", i, resp.Status)
+		}
+		ids = append(ids, v.ID)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		j, ok := s.store.Get(id)
+		if !ok || j.State() != StateDone {
+			t.Fatalf("job %s not drained to done (state %v)", id, j.State())
+		}
+	}
+	resp, _ := postJob(t, ts, predictBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: want 503, got %v", resp.Status)
+	}
+}
+
+// TestDrainDeadlineCancels checks the other drain arm: a job that cannot
+// finish by the deadline is cancelled through its context and the drain
+// reports it.
+func TestDrainDeadlineCancels(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 2, DrainTimeout: 100 * time.Millisecond})
+	_, v := postJob(t, ts, slowBody)
+	waitState(t, ts, v.ID, StateRunning)
+	if err := s.Shutdown(); err == nil {
+		t.Fatal("drain of a stuck job reported success")
+	}
+	j, _ := s.store.Get(v.ID)
+	if st := j.State(); st != StateCancelled {
+		t.Fatalf("stuck job state %v, want cancelled", st)
+	}
+}
+
+// TestFailedJob checks that an execution error lands in failed with the
+// message, and the result endpoint reports it.
+func TestFailedJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 2})
+	// gpu-resident requires tasks=1; tasks=2 fails inside the runner,
+	// after validation.
+	_, v := postJob(t, ts, `{"type":"simulate","simulate":{"kind":"gpu","n":16,"steps":2,"tasks":2}}`)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view View
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if view.State == StateFailed {
+			if view.Error == "" {
+				t.Fatal("failed job lacks an error message")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("result of failed job: want 500, got %v", rr.Status)
+	}
+}
+
+// TestValidationErrors checks the 400/404 paths.
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 2})
+	bad := []string{
+		`{`,
+		`{"type":"simulate"}`,
+		`{"type":"teleport","simulate":{"kind":"bulk","n":16,"steps":1}}`,
+		`{"type":"simulate","simulate":{"kind":"warp-drive","n":16,"steps":1}}`,
+		`{"type":"simulate","simulate":{"kind":"bulk","n":100000,"steps":1}}`,
+		`{"type":"simulate","simulate":{"kind":"bulk","n":16,"steps":1},"predict":{"machine":"Yona","kind":"bulk","cores":12}}`,
+		`{"type":"predict","predict":{"machine":"","kind":"bulk","cores":12}}`,
+		`{"type":"experiment","experiment":{"id":""}}`,
+	}
+	for _, body := range bad {
+		resp, _ := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: want 400, got %v", body, resp.Status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: want 404, got %v", resp.Status)
+	}
+
+	// An unknown experiment id passes validation but fails in execution.
+	_, v := postJob(t, ts, `{"type":"experiment","experiment":{"id":"fig99"}}`)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view View
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if view.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("unknown experiment stuck in %s", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCatalogues checks the discovery endpoints.
+func TestCatalogues(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/kinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds struct {
+		Kinds []struct{ ID string } `json:"kinds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&kinds); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(kinds.Kinds) != 10 {
+		t.Fatalf("want 10 kinds, got %d", len(kinds.Kinds))
+	}
+	resp, err = http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps struct {
+		Experiments []struct{ ID string } `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&exps); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(exps.Experiments) < 10 {
+		t.Fatalf("only %d experiments listed", len(exps.Experiments))
+	}
+}

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is the job registry: every submitted job, by id, for status polls
+// and result delivery. Reads never touch the queue or the pool, so
+// delivery stays responsive while the workers are saturated.
+type Store struct {
+	mu    sync.RWMutex
+	jobs  map[string]*Job
+	order []string // submission order, for listing
+	next  int
+}
+
+// NewStore builds an empty store.
+func NewStore() *Store {
+	return &Store{jobs: map[string]*Job{}}
+}
+
+// NewID mints the next job id.
+func (s *Store) NewID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	return fmt.Sprintf("job-%06d", s.next)
+}
+
+// Add registers a job.
+func (s *Store) Add(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID()] = j
+	s.order = append(s.order, j.ID())
+}
+
+// Get looks a job up by id.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns every job in submission order.
+func (s *Store) List() []*Job {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
