@@ -35,6 +35,7 @@ import (
 	"repro/internal/grid"
 	_ "repro/internal/impl" // register the nine implementations
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/perf"
 )
 
@@ -106,11 +107,30 @@ func RunContext(ctx context.Context, k Kind, p Problem, o Options) (*Result, err
 
 // Fingerprint returns a deterministic content hash of a run request —
 // implementation kind, problem, and options (excluding the cancellation
-// context) — suitable as a result-cache key: two requests share a
-// fingerprint exactly when they describe the same computation.
+// context and span recorder) — suitable as a result-cache key: two
+// requests share a fingerprint exactly when they describe the same
+// computation.
 func Fingerprint(k Kind, p Problem, o Options) string {
 	return core.Fingerprint(k, p, o)
 }
+
+// Recorder collects per-rank, per-timestep phase spans — CPU compute, MPI
+// traffic, PCIe copies, kernels — from an instrumented run. Attach one via
+// Options.Rec, then build an overlap report or export a Chrome trace:
+//
+//	rec := advect.NewRecorder()
+//	res, err := advect.Run(advect.HybridOverlap, p, advect.Options{Tasks: 4, Rec: rec})
+//	rec.Report().WriteText(os.Stdout)     // overlap-efficiency summary
+//	rec.WriteChromeTrace(f)               // open in ui.perfetto.dev
+//
+// A nil *Recorder disables recording at zero cost.
+type Recorder = obs.Recorder
+
+// OverlapReport is a measured overlap-efficiency report (see Recorder).
+type OverlapReport = obs.Report
+
+// NewRecorder returns an enabled span recorder for Options.Rec.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // Machine describes one of the paper's four computers (Table II) together
 // with its calibrated performance constants.

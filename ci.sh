@@ -1,8 +1,29 @@
 #!/bin/sh
-# CI gate: vet, build, and run the full test suite with the race detector.
+# CI gate: formatting, vet, build, the full test suite with the race
+# detector, and the disabled-tracing overhead guard.
 # Stdlib-only repo; requires only a Go >= 1.22 toolchain.
 set -eux
+
+# Formatting gate: gofmt must have nothing to rewrite.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on: $unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Disabled-tracing overhead guard: a nil *obs.Recorder must stay
+# allocation-free (test-asserted) and under the ns/op bound recorded in
+# BENCH_obs.json, so instrumented code paths stay free when untraced.
+go test -run TestDisabledRecorderAllocatesNothing -count=1 ./internal/obs
+max_ns=$(sed -n 's/.*"disabled_max_ns_per_op": *\([0-9.]*\).*/\1/p' BENCH_obs.json)
+bench_out=$(go test -run '^$' -bench BenchmarkRecorderDisabled -benchtime 1000000x ./internal/obs)
+echo "$bench_out"
+ns=$(echo "$bench_out" | awk '/^BenchmarkRecorderDisabled/ {print $3}')
+awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
+    if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
+    if (ns + 0 > max + 0) { printf "disabled-tracing path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
+}'

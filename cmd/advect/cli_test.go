@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -60,10 +61,29 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("resume output wrong:\n%s", out)
 	}
 
-	// Overlap tracing.
-	out = runCLI(t, bin, "-impl", "gpu-streams", "-n", "16", "-steps", "2", "-trace")
-	if !strings.Contains(out, "trace.overlap.sec") {
-		t.Fatalf("trace output missing overlap stats:\n%s", out)
+	// Overlap tracing: -trace writes Chrome trace-event JSON and prints
+	// the overlap report alongside the vtime overlap stats.
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	out = runCLI(t, bin, "-impl", "gpu-streams", "-n", "16", "-steps", "2", "-trace", traceFile)
+	for _, want := range []string{"trace.overlap.sec", "overlap report:", "pcie/kernel", "chrome trace written"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file does not unmarshal: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
 	}
 
 	// Unknown implementation fails loudly.

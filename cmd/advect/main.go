@@ -37,7 +37,7 @@ func main() {
 		verify    = flag.Bool("verify", true, "compare against the analytic solution")
 		timeout   = flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 = no limit); cancellation is checked between timesteps")
 		minTime   = flag.Duration("mintime", 0, "calibrate the step count so the measurement runs at least this long (the paper's methodology; overrides -steps)")
-		trace     = flag.Bool("trace", false, "record the simulated GPU/PCIe timeline and report overlap (GPU implementations)")
+		trace     = flag.String("trace", "", "record per-rank phase spans, print the overlap report, and write a Chrome trace-event JSON (open in ui.perfetto.dev) to this file")
 		saveCkpt  = flag.String("save", "", "write a checkpoint of the final state to this file")
 		loadCkpt  = flag.String("load", "", "resume from a checkpoint file (overrides -n)")
 		list      = flag.Bool("list", false, "list implementations and exit")
@@ -71,6 +71,10 @@ func main() {
 		fmt.Printf("resumed from %s: %v, %d steps already integrated (t=%g)\n",
 			*loadCkpt, m.N, m.StepsDone, m.T0)
 	}
+	var rec *advect.Recorder
+	if *trace != "" {
+		rec = advect.NewRecorder()
+	}
 	o := advect.Options{
 		Tasks: *tasks, Threads: *threads,
 		BlockX: *blockX, BlockY: *blockY,
@@ -79,7 +83,8 @@ func main() {
 		TasksPerGPU:  *tasksGPU,
 		GPU:          gpu,
 		Verify:       *verify,
-		TraceOverlap: *trace && kind.UsesGPU(),
+		TraceOverlap: *trace != "" && kind.UsesGPU(),
+		Rec:          rec,
 	}
 	if *minTime > 0 {
 		// Paper §II: vary the number of steps until the measurement runs
@@ -89,6 +94,7 @@ func main() {
 			pp.Steps = n
 			oo := o
 			oo.Verify = false
+			oo.Rec = nil // don't pollute the trace with calibration runs
 			r, err := advect.Run(kind, pp, oo)
 			if err != nil {
 				fatal(err)
@@ -146,6 +152,20 @@ func main() {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Printf("stat %-14s: %g\n", k, res.Stats[k])
+	}
+	if rec != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		rec.Report().WriteText(os.Stdout)
+		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", *trace)
 	}
 }
 

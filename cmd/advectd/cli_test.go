@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,10 +8,46 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 )
+
+// logCapture collects the daemon's structured stderr log and surfaces the
+// listen address from the msg=serving addr=<addr> event. Hooking it up as
+// cmd.Stderr (instead of a pipe-reading goroutine) means cmd.Wait only
+// returns once every log line — including the drain events written just
+// before exit — has been captured.
+type logCapture struct {
+	mu   sync.Mutex
+	buf  strings.Builder
+	addr chan string
+	sent bool
+}
+
+func (lc *logCapture) Write(p []byte) (int, error) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.buf.Write(p)
+	if !lc.sent {
+		s := lc.buf.String()
+		if i := strings.Index(s, "addr="); i >= 0 {
+			rest := s[i+len("addr="):]
+			if j := strings.IndexAny(rest, " \n"); j >= 0 {
+				lc.addr <- strings.Trim(rest[:j], `"`)
+				lc.sent = true
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (lc *logCapture) String() string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.buf.String()
+}
 
 // TestAdvectdCLI boots the daemon, serves one predict job end to end, and
 // drains it with SIGTERM.
@@ -27,11 +62,9 @@ func TestAdvectdCLI(t *testing.T) {
 		t.Skipf("cannot build: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-queue", "4")
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-queue", "4", "-pprof")
+	logs := &logCapture{addr: make(chan string, 1)}
+	cmd.Stderr = logs
 	var stdout strings.Builder
 	cmd.Stdout = &stdout
 	if err := cmd.Start(); err != nil {
@@ -39,25 +72,9 @@ func TestAdvectdCLI(t *testing.T) {
 	}
 	defer cmd.Process.Kill()
 
-	// The daemon logs "serving on <addr>" once the listener is up.
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stderr)
-		for sc.Scan() {
-			line := sc.Text()
-			if i := strings.Index(line, "serving on "); i >= 0 {
-				rest := line[i+len("serving on "):]
-				addrCh <- strings.Fields(rest)[0]
-				break
-			}
-		}
-		// Keep draining so the child never blocks on a full pipe.
-		for sc.Scan() {
-		}
-	}()
 	var addr string
 	select {
-	case addr = <-addrCh:
+	case addr = <-logs.addr:
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not report its address")
 	}
@@ -70,6 +87,16 @@ func TestAdvectdCLI(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %v", resp.Status)
+	}
+
+	// -pprof mounts the profiling endpoints.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %v", resp.Status)
 	}
 
 	body := `{"type":"predict","predict":{"machine":"Yona","kind":"hybrid-overlap","cores":96,"threads":6}}`
@@ -120,12 +147,23 @@ func TestAdvectdCLI(t *testing.T) {
 	select {
 	case err := <-done:
 		if err != nil {
-			t.Fatalf("daemon exited uncleanly: %v", err)
+			t.Fatalf("daemon exited uncleanly: %v\n%s", err, logs.String())
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not drain after SIGTERM")
 	}
 	if !strings.Contains(stdout.String(), "drained cleanly") {
 		t.Fatalf("missing drain message in stdout: %q", stdout.String())
+	}
+
+	// The structured log stream carries the whole job lifecycle.
+	out := logs.String()
+	for _, want := range []string{
+		`msg="job submitted"`, `msg="job started"`, `msg="job finished"`,
+		"job=job-", "type=predict", `msg="drain started"`, `msg="drain finished"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("structured logs missing %q:\n%s", want, out)
+		}
 	}
 }

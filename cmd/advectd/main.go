@@ -15,6 +15,10 @@
 //
 // SIGINT/SIGTERM drain the service: admission stops, in-flight jobs get
 // -drain to finish, stragglers are cancelled between timesteps.
+//
+// The daemon logs structured job-lifecycle events (log/slog, logfmt text
+// or JSON with -logjson) to stderr, and -pprof exposes the Go profiling
+// endpoints under /debug/pprof/.
 package main
 
 import (
@@ -22,7 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -35,15 +39,30 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 2, "worker pool size (concurrent jobs)")
-		queue   = flag.Int("queue", 16, "admission queue capacity (full queue returns 429)")
-		cache   = flag.Int("cache", 256, "result cache entries (LRU)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
-		maxN    = flag.Int("maxn", 0, "largest grid points per dimension a simulate job may request (0 = default)")
-		maxStep = flag.Int("maxsteps", 0, "largest timestep count a simulate job may request (0 = default)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 2, "worker pool size (concurrent jobs)")
+		queue    = flag.Int("queue", 16, "admission queue capacity (full queue returns 429)")
+		cache    = flag.Int("cache", 256, "result cache entries (LRU)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		maxN     = flag.Int("maxn", 0, "largest grid points per dimension a simulate job may request (0 = default)")
+		maxStep  = flag.Int("maxsteps", 0, "largest timestep count a simulate job may request (0 = default)")
+		pprofOn  = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
+		logJSON  = flag.Bool("logjson", false, "emit logs as JSON instead of logfmt text")
+		logLevel = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "advectd: bad -loglevel %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
 
 	lim := service.DefaultLimits()
 	if *maxN > 0 {
@@ -55,34 +74,37 @@ func main() {
 	srv := service.New(service.Config{
 		Workers: *workers, QueueCap: *queue, CacheEntries: *cache,
 		DrainTimeout: *drain, Limits: lim,
+		Logger: logger, EnablePprof: *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("advectd: %v", err)
+		logger.Error("listen failed", "addr", *addr, "error", err)
+		os.Exit(1)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() {
 		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("advectd: %v", err)
+			logger.Error("serve failed", "error", err)
+			os.Exit(1)
 		}
 	}()
-	log.Printf("advectd: serving on %s (%d workers, queue %d, cache %d)",
-		ln.Addr(), *workers, *queue, *cache)
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue, "cache", *cache, "pprof", *pprofOn)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	sig := <-stop
-	log.Printf("advectd: %v received, draining (deadline %v)", sig, *drain)
+	logger.Info("signal received, draining", "signal", sig.String(), "deadline", *drain)
 
 	// Stop accepting connections, then drain the pool.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("advectd: http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err)
 	}
 	if err := srv.Shutdown(); err != nil {
-		log.Printf("advectd: %v", err)
+		logger.Error("drain failed", "error", err)
 		os.Exit(1)
 	}
 	fmt.Println("advectd: drained cleanly")

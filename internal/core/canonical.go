@@ -53,8 +53,9 @@ func (p Problem) Canonical() string {
 }
 
 // Canonical returns a deterministic, versioned encoding of the options.
-// The cancellation context is excluded: two runs that differ only in Ctx
-// are the same computation. The GPU model is encoded by name, so
+// The cancellation context and span recorder are excluded: two runs that
+// differ only in Ctx or Rec are the same computation. The GPU model is
+// encoded by name, so
 // GPUDefault and GPUC2050 (the same device) collapse to one form.
 func (o Options) Canonical() string {
 	return strings.Join([]string{
@@ -255,7 +256,7 @@ func ParseProblemCanonical(s string) (Problem, error) {
 }
 
 // ParseOptionsCanonical inverts Options.Canonical. The parsed options
-// carry a nil Ctx.
+// carry a nil Ctx and nil Rec.
 func ParseOptionsCanonical(s string) (Options, error) {
 	fields, err := canonFields(s, "o1")
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/stencil"
 )
 
@@ -257,12 +258,21 @@ type Options struct {
 	// run and the mass drift across it.
 	Verify bool
 
-	// TraceOverlap records rank 0's simulated GPU/PCIe timeline and adds
-	// overlap accounting to Result.Stats: "trace.overlap.sec" is the total
-	// simulated time during which the interior kernel ran concurrently
+	// TraceOverlap records every device's simulated GPU/PCIe timeline and
+	// adds overlap accounting to Result.Stats: "trace.overlap.sec" is the
+	// total simulated time during which interior kernels ran concurrently
 	// with PCIe transfers or boundary kernels — the quantity the paper's
-	// overlap implementations exist to maximize. GPU implementations only.
+	// overlap implementations exist to maximize. Per-device stats are
+	// merged across ranks (see internal/impl/trace.go). GPU
+	// implementations only.
 	TraceOverlap bool
+
+	// Rec, when non-nil, records per-rank per-phase spans from every
+	// substrate (CPU compute, MPI, PCIe, kernels) for the overlap report
+	// and Chrome trace export — see internal/obs. Nil disables recording
+	// at zero cost. Like Ctx, Rec does not participate in Canonical or
+	// Fingerprint: tracing a run does not change what it computes.
+	Rec *obs.Recorder
 
 	// Ctx, when non-nil, carries a cancellation signal into the run: the
 	// functional implementations poll it between timesteps and abort with

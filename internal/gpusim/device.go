@@ -2,8 +2,10 @@ package gpusim
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -22,6 +24,8 @@ type Device struct {
 	dmaH2D    *vtime.Resource
 	dmaD2H    *vtime.Resource
 	trace     *vtime.Trace
+	obsRec    *obs.Recorder
+	obsRank   int
 	constMem  []float64
 	allocated int64
 	streamSeq int
@@ -57,11 +61,37 @@ func (d *Device) SetTrace(t *vtime.Trace) {
 	d.mu.Unlock()
 }
 
+// SetObserver mirrors the device timeline — kernels and PCIe copies, in
+// simulated time — into an obs recorder, attributing the spans to rank
+// (the device's owning rank, or the group's first rank when tasks share
+// the GPU). A nil recorder disables mirroring.
+func (d *Device) SetObserver(r *obs.Recorder, rank int) {
+	d.mu.Lock()
+	d.obsRec, d.obsRank = r, rank
+	d.mu.Unlock()
+}
+
 func (d *Device) traceAdd(lane, label string, start, end vtime.Time) {
 	d.mu.Lock()
-	t := d.trace
+	t, rec, rank := d.trace, d.obsRec, d.obsRank
 	d.mu.Unlock()
 	t.Add(lane, label, start, end)
+	if rec != nil {
+		rec.Add(rank, -1, lanePhase(lane), label, start.Seconds(), end.Seconds())
+	}
+}
+
+// lanePhase maps the device's vtime lanes onto obs phases: every
+// "gpu.<stream>" lane is kernel time, the PCIe lanes keep their direction
+// (the half-duplex "pcie" constant-upload lane counts as host-to-device).
+func lanePhase(lane string) obs.Phase {
+	switch {
+	case lane == "pcie.d2h":
+		return obs.PhaseD2H
+	case strings.HasPrefix(lane, "gpu."):
+		return obs.PhaseKernel
+	}
+	return obs.PhaseH2D
 }
 
 // HostClock tracks a host goroutine's virtual time across device calls.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stencil"
 )
@@ -25,13 +26,18 @@ func (bulkSync) Run(p core.Problem, o core.Options) (*core.Result, error) {
 		rows := stencil.Rows(whole)
 		for s := 0; s < rc.p.Steps; s++ {
 			checkCancelRank(rc.o)
+			rc.ex.setStep(s)
 			rc.ex.exchangeAll()
+			sp := rc.span(s, obs.PhaseInterior, "whole")
 			rc.team.ParallelFor(rows, par.Static, 0, func(lo, hi int) {
 				rc.op.ApplyRows(rc.cur, rc.nxt, whole, lo, hi)
 			})
+			sp.End()
+			sp = rc.span(s, obs.PhaseCopy, "")
 			rc.team.ParallelFor(rows, par.Static, 0, func(lo, hi int) {
 				copyRows(rc.nxt, rc.cur, whole, lo, hi)
 			})
+			sp.End()
 		}
 	})
 }
@@ -50,6 +56,12 @@ type rankCtx struct {
 	op    *stencil.Op
 	ex    *exchanger
 	stats map[string]float64 // optional extra stats from the rank
+}
+
+// span opens a wall-clock span attributed to this rank (no-op when the run
+// carries no recorder).
+func (rc rankCtx) span(step int, ph obs.Phase, label string) obs.Active {
+	return rc.o.Rec.Begin(rc.c.Rank(), step, ph, label)
 }
 
 // runMPI is the shared scaffold of the CPU MPI implementations: it spawns
@@ -90,6 +102,8 @@ func runMPI(kind core.Kind, p core.Problem, o core.Options, steps func(rankCtx))
 			op: opFor(p, cur),
 			ex: newExchanger(c, d, cur),
 		}
+		rc.ex.setObs(o.Rec)
+		team.SetRecorder(o.Rec, c.Rank())
 
 		// "We perform a barrier immediately before measuring the start
 		// time and the end time."

@@ -3,6 +3,7 @@ package impl
 import (
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // exchanger performs the paper's dimension-serialized halo exchange
@@ -17,8 +18,26 @@ type exchanger struct {
 	rank int
 	f    *grid.Field
 
+	rec  *obs.Recorder
+	step int
+
 	send [3][2][]float64
 	recv [3][2][]float64
+}
+
+var dimNames = [3]string{"x", "y", "z"}
+
+// setObs attaches the span recorder to the exchanger and its communicator.
+func (e *exchanger) setObs(r *obs.Recorder) {
+	e.rec = r
+	e.c.SetRecorder(r)
+}
+
+// setStep tags this step's spans — the exchanger's pack/unpack/exchange
+// windows and the communicator's mpi.* spans — with the timestep.
+func (e *exchanger) setStep(s int) {
+	e.step = s
+	e.c.SetStep(s)
 }
 
 // Tag layout: the message carrying a task's low face in dimension d is
@@ -43,6 +62,7 @@ func newExchanger(c *mpi.Comm, d grid.Decomp, f *grid.Field) *exchanger {
 // phase is one in-flight dimension exchange.
 type phase struct {
 	dim  int
+	t0   float64 // recorder clock at start, for the mpi.exchange span
 	reqs [2]*mpi.Request
 }
 
@@ -55,24 +75,32 @@ func (e *exchanger) start(dim int) phase {
 
 	// My low halo receives the high face of my -dim neighbor; my high halo
 	// receives the low face of my +dim neighbor.
-	ph := phase{dim: dim}
+	ph := phase{dim: dim, t0: e.rec.Clock()}
 	ph.reqs[0] = e.c.IRecv(nbrLo, tagHigh(dim), e.recv[dim][0])
 	ph.reqs[1] = e.c.IRecv(nbrHi, tagLow(dim), e.recv[dim][1])
 
+	a := e.rec.Begin(e.rank, e.step, obs.PhaseHaloPack, dimNames[dim])
 	e.f.PackFace(dim, -1, h, e.send[dim][0])
 	e.f.PackFace(dim, +1, h, e.send[dim][1])
+	a.End()
 	e.c.ISend(nbrLo, tagLow(dim), e.send[dim][0])
 	e.c.ISend(nbrHi, tagHigh(dim), e.send[dim][1])
 	return ph
 }
 
 // finish completes the receives of a phase and unpacks them into the halo.
+// The mpi.exchange span it records covers the whole in-flight window since
+// start — any compute span landing inside it is communication the schedule
+// actually hid.
 func (e *exchanger) finish(ph phase) {
 	ph.reqs[0].Wait()
 	ph.reqs[1].Wait()
 	h := e.f.Halo
+	a := e.rec.Begin(e.rank, e.step, obs.PhaseHaloUnpack, dimNames[ph.dim])
 	e.f.UnpackFace(ph.dim, -1, h, e.recv[ph.dim][0])
 	e.f.UnpackFace(ph.dim, +1, h, e.recv[ph.dim][1])
+	a.End()
+	e.rec.Add(e.rank, e.step, obs.PhaseMPIExchange, dimNames[ph.dim], ph.t0, e.rec.Clock())
 }
 
 // exchangeAll runs the full bulk-synchronous exchange: all three phases

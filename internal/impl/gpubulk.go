@@ -3,6 +3,7 @@ package impl
 import (
 	"repro/internal/core"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/stencil"
 )
 
@@ -61,17 +62,22 @@ func runGPUMPI(kind core.Kind, p core.Problem, o core.Options, overlap bool) (*c
 
 		for step := 0; step < rc.p.Steps; step++ {
 			checkCancelRank(rc.o)
+			rc.ex.setStep(step)
 			if overlap {
 				// §IV-G: interior kernel first, so it runs while the CPU
 				// communicates.
+				sp := rc.span(step, obs.PhaseLaunch, "interior")
 				rc.host.Set(launchInteriorStep(rc.st, s1, rc.host.Now(), interior, rc.o.BlockX, rc.o.BlockY))
+				sp.End()
 			}
 
 			// CPU-side MPI exchange over the shadow shell.
 			rc.ex.exchangeAll()
 
 			// Upload the assembled halo shell and run the boundary work.
+			sp := rc.span(step, obs.PhaseHaloPack, "shell")
 			packSubs(rc.shadow, hSubs, hostHalo)
+			sp.End()
 			if overlap {
 				rc.host.Set(rc.dev.MemcpyAsync(rc.host.Now(), s2, gpusim.HostToDevice, haloBuf, hostHalo))
 			} else {
@@ -93,7 +99,9 @@ func runGPUMPI(kind core.Kind, p core.Problem, o core.Options, overlap bool) (*c
 			// End of step: synchronize the streams, land the new boundary
 			// in the shadow shell, flip the state buffers.
 			rc.host.Set(rc.dev.Synchronize(rc.host.Now(), s1, s2))
+			sp = rc.span(step, obs.PhaseHaloUnpack, "shell")
 			unpackSubs(rc.shadow, wallSubs, hostWall)
+			sp.End()
 			rc.st.flip()
 		}
 	})

@@ -8,7 +8,7 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/grid"
 	"repro/internal/mpi"
-	"repro/internal/vtime"
+	"repro/internal/obs"
 )
 
 // gpuRankCtx is the per-rank state of the GPU MPI implementations
@@ -27,6 +27,12 @@ type gpuRankCtx struct {
 	shadow *grid.Field
 	ex     *exchanger
 	host   *gpusim.HostClock
+}
+
+// span opens a wall-clock span attributed to this rank (no-op when the run
+// carries no recorder).
+func (rc gpuRankCtx) span(step int, ph obs.Phase, label string) obs.Active {
+	return rc.o.Rec.Begin(rc.c.Rank(), step, ph, label)
 }
 
 // runMPIGPU is the shared scaffold of §IV-F and §IV-G: world setup,
@@ -51,18 +57,13 @@ func runMPIGPU(kind core.Kind, p core.Problem, o core.Options, steps func(gpuRan
 		msgs    float64
 		values  float64
 	)
-	traceStats := map[string]float64{}
 	pool := devicePool(o, o.Tasks)
+	traces := poolTraces(pool, o)
 	runErr := safeWorldRun(w, func(c *mpi.Comm) {
 		sub := d.Sub(c.Rank())
 		dev := deviceFor(pool, o, c.Rank())
 		if err := checkBlock(dev, sub.Size, o.BlockX, o.BlockY); err != nil {
 			panic(err)
-		}
-		var tr *vtime.Trace
-		if o.TraceOverlap && c.Rank() == 0 {
-			tr = vtime.NewTrace()
-			dev.SetTrace(tr)
 		}
 
 		local := grid.NewField(sub.Size, 1)
@@ -80,6 +81,7 @@ func runMPIGPU(kind core.Kind, p core.Problem, o core.Options, steps func(gpuRan
 			ex:   newExchanger(c, d, shadow),
 			host: &host,
 		}
+		rc.ex.setObs(o.Rec)
 
 		c.Barrier()
 		simStart := host.Now()
@@ -101,7 +103,6 @@ func runMPIGPU(kind core.Kind, p core.Problem, o core.Options, steps func(gpuRan
 		if c.Rank() == 0 {
 			final = g
 			elapsed = dt
-			overlapStats(tr, traceStats)
 		}
 		mu.Unlock()
 	})
@@ -124,7 +125,7 @@ func runMPIGPU(kind core.Kind, p core.Problem, o core.Options, steps func(gpuRan
 		"pcie.bytes":   bytesPCI,
 		"sim.seconds":  simSec,
 	}}
-	for k, v := range traceStats {
+	for k, v := range mergedOverlapStats(traces) {
 		res.Stats[k] = v
 	}
 	if simSec > 0 {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpusim"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // newDeviceFor builds the simulated device selected by the options.
@@ -66,6 +67,7 @@ func (gpuResident) Run(p core.Problem, o core.Options) (*core.Result, error) {
 	if err := checkBlock(dev, p.N, o.BlockX, o.BlockY); err != nil {
 		return nil, err
 	}
+	traces := poolTraces([]*gpusim.Device{dev}, o)
 
 	initial := grid.NewField(p.N, 1)
 	initial.Fill(func(i, j, k int) float64 { return p.InitialValue(i, j, k) })
@@ -85,7 +87,9 @@ func (gpuResident) Run(p core.Problem, o core.Options) (*core.Result, error) {
 		if err := o.CheckCancel(); err != nil {
 			return nil, fmt.Errorf("impl: run cancelled at step %d: %w", s, err)
 		}
+		sp := o.Rec.Begin(0, s, obs.PhaseLaunch, "resident")
 		host.Set(launchResidentStep(st, stream, host.Now(), o.BlockX, o.BlockY))
+		sp.End()
 		st.flip()
 	}
 	host.Set(dev.Synchronize(host.Now(), stream))
@@ -101,6 +105,9 @@ func (gpuResident) Run(p core.Problem, o core.Options) (*core.Result, error) {
 		"gpu.kernels": float64(dev.Kernels),
 		"sim.seconds": simElapsed,
 	}}
+	for k, v := range mergedOverlapStats(traces) {
+		res.Stats[k] = v
+	}
 	if simElapsed > 0 {
 		res.Stats["sim.gf"] = p.Flops() * float64(p.Steps) / simElapsed / 1e9
 	}

@@ -9,9 +9,9 @@ import (
 	"repro/internal/gpusim"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stencil"
-	"repro/internal/vtime"
 )
 
 // hybridRunner implements §IV-H (overlap=false) and §IV-I (overlap=true):
@@ -64,8 +64,8 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 	w := mpi.NewWorld(o.Tasks)
 
 	kind := h.Kind()
-	traceStats := map[string]float64{}
 	pool := devicePool(o, o.Tasks)
+	traces := poolTraces(pool, o)
 	var (
 		mu      sync.Mutex
 		final   *grid.Field
@@ -87,19 +87,20 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 		if err := checkBlock(dev, inner.Size, o.BlockX, o.BlockY); err != nil {
 			panic(err)
 		}
-		var tr *vtime.Trace
-		if o.TraceOverlap && c.Rank() == 0 {
-			tr = vtime.NewTrace()
-			dev.SetTrace(tr)
-		}
 		team := par.NewTeam(o.Threads)
 		defer team.Close()
+		team.SetRecorder(o.Rec, c.Rank())
 
 		cpuCur := grid.NewField(local, 1)
 		fillLocal(cpuCur, p, sub)
 		cpuNxt := grid.NewField(local, 1)
 		op := opFor(p, cpuCur)
 		ex := newExchanger(c, d, cpuCur)
+		ex.setObs(o.Rec)
+		rank := c.Rank()
+		span := func(step int, ph obs.Phase, label string) obs.Active {
+			return o.Rec.Begin(rank, step, ph, label)
+		}
 
 		// Device state over the inner block.
 		blockInit := grid.NewField(inner.Size, 1)
@@ -162,15 +163,22 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 		t0 := time.Now()
 		for step := 0; step < p.Steps; step++ {
 			checkCancelRank(o)
+			ex.setStep(step)
 			if !h.overlap {
 				// §IV-H: all exchanges up front, synchronously.
 				// Inner boundary: GPU block outer layer → CPU field.
+				sp := span(step, obs.PhaseLaunch, "pack outer")
 				host.Set(launchPackKernel(st, s1, host.Now(), "pack outer", outerGPU, outBuf, o.BlockX, o.BlockY))
 				host.Set(s1.Synchronize(host.Now()))
 				host.Set(dev.Memcpy(host.Now(), gpusim.DeviceToHost, outBuf, hostOut))
+				sp.End()
+				sp = span(step, obs.PhaseHaloUnpack, "inner")
 				unpackSubs(cpuCur, outerCPU, hostOut)
+				sp.End()
 				// Inner halo: CPU ring → GPU halo shell.
+				sp = span(step, obs.PhaseHaloPack, "ring")
 				packSubs(cpuCur, ringCPU, hostRing)
+				sp.End()
 				host.Set(dev.Memcpy(host.Now(), gpusim.HostToDevice, ringBuf, hostRing))
 				host.Set(launchHaloUnpack(st, s1, host.Now(), "ring unpack", ringGPU, ringBuf, o.BlockX, o.BlockY))
 				// Outer halo: MPI with the neighbor tasks.
@@ -179,18 +187,24 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 				// meanwhile (the kernels are asynchronous).
 				host.Set(launchWallCompute(st, s1, host.Now(), "block faces", outerGPU, nil, o.BlockX, o.BlockY))
 				host.Set(launchInteriorStep(st, s1, host.Now(), blockInterior, o.BlockX, o.BlockY))
+				sp = span(step, obs.PhaseInterior, "shell")
 				for _, wsub := range walls {
 					computeSub(wsub, cpuNxt)
 				}
+				sp.End()
 				host.Set(dev.Synchronize(host.Now(), s1))
 			} else {
 				// §IV-I: maximum overlap.
 				// 1. GPU interior kernel, stream 1.
+				sp := span(step, obs.PhaseLaunch, "interior")
 				host.Set(launchInteriorStep(st, s1, host.Now(), blockInterior, o.BlockX, o.BlockY))
+				sp.End()
 				// 2. Asynchronous inner-halo traffic and boundary kernels,
 				// stream 2. The download is staged and landed after the
 				// CPU has finished reading the current ring.
+				sp = span(step, obs.PhaseHaloPack, "ring")
 				packSubs(cpuCur, ringCPU, hostRing)
+				sp.End()
 				host.Set(dev.MemcpyAsync(host.Now(), s2, gpusim.HostToDevice, ringBuf, hostRing))
 				host.Set(launchHaloUnpack(st, s2, host.Now(), "ring unpack", ringGPU, ringBuf, o.BlockX, o.BlockY))
 				host.Set(launchWallCompute(st, s2, host.Now(), "block faces", outerGPU, outBuf, o.BlockX, o.BlockY))
@@ -199,24 +213,31 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 				// wall points of that dimension.
 				for dim := 0; dim < 3; dim++ {
 					ph := ex.start(dim)
+					sp = span(step, obs.PhaseInterior, "walls."+dimNames[dim])
 					for _, wsub := range innerWalls[dim] {
 						computeSub(wsub, cpuNxt)
 					}
+					sp.End()
 					ex.finish(ph)
 				}
 				// 4. Outer boundary points, then stream synchronization.
+				sp = span(step, obs.PhaseBoundary, "outer")
 				for _, bsub := range domainBoundary {
 					computeSub(bsub, cpuNxt)
 				}
+				sp.End()
 				host.Set(dev.Synchronize(host.Now(), s1, s2))
 				// Land the new block outer layer for the next step's shell
 				// computation.
+				sp = span(step, obs.PhaseHaloUnpack, "inner")
 				unpackSubs(cpuNxt, outerCPU, hostOut)
+				sp.End()
 			}
 
 			// Commit the step: flip the GPU buffers; copy the CPU-owned
 			// regions of the next state into the current state.
 			st.flip()
+			sp := span(step, obs.PhaseCopy, "")
 			for _, wsub := range walls {
 				copySub(wsub)
 			}
@@ -225,6 +246,7 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 					copySub(osub)
 				}
 			}
+			sp.End()
 		}
 		c.Barrier()
 		dt := time.Since(t0)
@@ -251,7 +273,6 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 		if c.Rank() == 0 {
 			final = g
 			elapsed = dt
-			overlapStats(tr, traceStats)
 		}
 		mu.Unlock()
 	})
@@ -276,7 +297,7 @@ func (h hybridRunner) Run(p core.Problem, o core.Options) (*core.Result, error) 
 		"pcie.bytes":   pciByte,
 		"sim.seconds":  simSec,
 	}}
-	for k, v := range traceStats {
+	for k, v := range mergedOverlapStats(traces) {
 		res.Stats[k] = v
 	}
 	if simSec > 0 {

@@ -2,6 +2,7 @@ package impl
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stencil"
 )
@@ -23,16 +24,20 @@ func (nonblockingOverlap) Run(p core.Problem, o core.Options) (*core.Result, err
 		boundary := stencil.BoundarySlabs(rc.cur.N)
 		for s := 0; s < rc.p.Steps; s++ {
 			checkCancelRank(rc.o)
+			rc.ex.setStep(s)
 			for dim := 0; dim < 3; dim++ {
 				ph := rc.ex.start(dim)
 				sub := thirds[dim]
+				sp := rc.span(s, obs.PhaseInterior, "third."+dimNames[dim])
 				rc.team.ParallelFor(stencil.Rows(sub), par.Static, 0, func(lo, hi int) {
 					rc.op.ApplyRows(rc.cur, rc.nxt, sub, lo, hi)
 				})
+				sp.End()
 				rc.ex.finish(ph)
 			}
 			// "The threads compute the boundary points after the
 			// communication."
+			sp := rc.span(s, obs.PhaseBoundary, "slabs")
 			for _, sub := range boundary {
 				if sub.Empty() {
 					continue
@@ -42,10 +47,13 @@ func (nonblockingOverlap) Run(p core.Problem, o core.Options) (*core.Result, err
 					rc.op.ApplyRows(rc.cur, rc.nxt, sub, lo, hi)
 				})
 			}
+			sp.End()
 			whole := stencil.Whole(rc.cur.N)
+			sp = rc.span(s, obs.PhaseCopy, "")
 			rc.team.ParallelFor(stencil.Rows(whole), par.Static, 0, func(lo, hi int) {
 				copyRows(rc.nxt, rc.cur, whole, lo, hi)
 			})
+			sp.End()
 		}
 	})
 }

@@ -1,0 +1,160 @@
+package impl
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+func obsProblem() core.Problem {
+	return core.Problem{N: grid.Uniform(24), C: grid.Velocity{X: 1, Y: 1, Z: 1}, Steps: 4}
+}
+
+func runWithRecorder(t *testing.T, kind core.Kind, o core.Options) *obs.Recorder {
+	t.Helper()
+	rec := obs.NewRecorder()
+	o.Rec = rec
+	r, err := core.New(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(obsProblem(), o); err != nil {
+		t.Fatalf("%v: %v", kind, err)
+	}
+	return rec
+}
+
+// TestOverlapReportDistinguishesSchedules is the issue's acceptance
+// criterion: the hybrid overlap implementation must show strictly positive
+// MPI↔compute and PCIe↔kernel overlap, while the bulk-synchronous
+// schedules report ≈0 for the same pairs.
+func TestOverlapReportDistinguishesSchedules(t *testing.T) {
+	const eps = 1e-9
+
+	hybrid := runWithRecorder(t, core.HybridOverlap, core.Options{
+		Tasks: 2, Threads: 2, BoxThickness: 2,
+	}).Report()
+	if f := hybrid.Pair(obs.PairMPICompute).Fraction; f <= 0 {
+		t.Fatalf("HybridOverlap mpi/compute fraction = %v, want > 0", f)
+	}
+	if f := hybrid.Pair(obs.PairPCIeKernel).Fraction; f <= 0 {
+		t.Fatalf("HybridOverlap pcie/kernel fraction = %v, want > 0", f)
+	}
+	if len(hybrid.Ranks) != 2 {
+		t.Fatalf("expected spans from both ranks, got %d rank reports", len(hybrid.Ranks))
+	}
+
+	bulk := runWithRecorder(t, core.BulkSync, core.Options{Tasks: 2, Threads: 2}).Report()
+	if p := bulk.Pair(obs.PairMPICompute); p.CommSec <= 0 || p.OverlapSec > eps {
+		t.Fatalf("BulkSync mpi/compute should be ~0 of a positive comm window: %+v", p)
+	}
+	if p := bulk.Pair(obs.PairPCIeKernel); p.CommSec != 0 {
+		t.Fatalf("BulkSync has no PCIe traffic, got %+v", p)
+	}
+
+	gpuBulk := runWithRecorder(t, core.GPUBulkSync, core.Options{Tasks: 2}).Report()
+	if p := gpuBulk.Pair(obs.PairPCIeKernel); p.CommSec <= 0 || p.OverlapSec > eps {
+		t.Fatalf("GPUBulkSync pcie/kernel should be ~0 of a positive copy time: %+v", p)
+	}
+
+	// The non-blocking and threaded CPU overlap schedules hide a positive
+	// share of their exchange windows.
+	for _, kind := range []core.Kind{core.NonblockingOverlap, core.ThreadedOverlap} {
+		rep := runWithRecorder(t, kind, core.Options{Tasks: 2, Threads: 2}).Report()
+		if f := rep.Pair(obs.PairMPICompute).Fraction; f <= 0 {
+			t.Fatalf("%v mpi/compute fraction = %v, want > 0", kind, f)
+		}
+	}
+}
+
+// TestHybridTraceChromeExport checks the second half of the acceptance
+// criterion: a traced HybridOverlap run exports Chrome trace-event JSON
+// that unmarshals cleanly and covers both ranks and both time bases.
+func TestHybridTraceChromeExport(t *testing.T) {
+	rec := runWithRecorder(t, core.HybridOverlap, core.Options{
+		Tasks: 2, Threads: 2, BoxThickness: 2,
+	})
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Cat string  `json:"cat"`
+			PID int     `json:"pid"`
+			Ts  float64 `json:"ts"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not unmarshal: %v", err)
+	}
+	ranks := map[int]bool{}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		ranks[ev.PID] = true
+		cats[ev.Cat] = true
+	}
+	if !ranks[0] || !ranks[1] {
+		t.Fatalf("trace missing a rank's events: %v", ranks)
+	}
+	if !cats["wall"] || !cats["sim"] {
+		t.Fatalf("trace missing a time base: %v", cats)
+	}
+}
+
+// TestRunWithoutRecorderRecordsNothing guards the disabled path at the
+// runner level: a run with no recorder must not fabricate spans anywhere.
+func TestRunWithoutRecorderRecordsNothing(t *testing.T) {
+	r, err := core.New(core.BulkSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *obs.Recorder
+	o := core.Options{Tasks: 2, Rec: rec}
+	if _, err := r.Run(obsProblem(), o); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 0 {
+		t.Fatalf("nil recorder accumulated %d spans", rec.Len())
+	}
+}
+
+// TestMergedOverlapStats covers the all-ranks TraceOverlap satellite: a
+// two-task GPU run must merge both devices' traces into the stats.
+func TestMergedOverlapStats(t *testing.T) {
+	r, err := core.New(core.GPUStreams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(obsProblem(), core.Options{Tasks: 2, TraceOverlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats["trace.devices"]; got != 2 {
+		t.Fatalf("trace.devices = %v, want 2", got)
+	}
+	if res.Stats["trace.spans"] <= 0 {
+		t.Fatal("no merged spans recorded")
+	}
+	if res.Stats["trace.overlap.sec"] <= 0 {
+		t.Fatal("GPUStreams across 2 tasks should still overlap")
+	}
+	minOv := res.Stats["trace.overlap.min.sec"]
+	maxOv := res.Stats["trace.overlap.max.sec"]
+	if minOv <= 0 || maxOv < minOv {
+		t.Fatalf("per-device min/max overlap inconsistent: min=%v max=%v", minOv, maxOv)
+	}
+	if res.Stats["trace.overlap.sec"] < maxOv {
+		t.Fatal("summed overlap smaller than one device's overlap")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stencil"
 )
@@ -32,6 +33,7 @@ func (singleTask) Run(p core.Problem, o core.Options) (*core.Result, error) {
 	}
 	team := par.NewTeam(o.Threads)
 	defer team.Close()
+	team.SetRecorder(o.Rec, 0)
 
 	cur := grid.NewField(p.N, 1)
 	cur.Fill(func(i, j, k int) float64 { return p.InitialValue(i, j, k) })
@@ -49,18 +51,24 @@ func (singleTask) Run(p core.Problem, o core.Options) (*core.Result, error) {
 		// Step 1: periodic halo copy. The three dimension sweeps are each
 		// threaded over their outer loop; keeping them serialized preserves
 		// the corner-propagation order.
+		sp := o.Rec.Begin(0, s, obs.PhaseHaloUnpack, "periodic")
 		copyPeriodicHalosParallel(team, cur)
+		sp.End()
 
 		// Step 2: compute, collapse(2) over the (k, j) loops.
+		sp = o.Rec.Begin(0, s, obs.PhaseInterior, "whole")
 		team.ParallelFor(rows, par.Static, 0, func(lo, hi int) {
 			op.ApplyRows(cur, nxt, whole, lo, hi)
 		})
+		sp.End()
 
 		// Step 3: copy new state to current state (the paper copies rather
 		// than swapping buffers).
+		sp = o.Rec.Begin(0, s, obs.PhaseCopy, "")
 		team.ParallelFor(rows, par.Static, 0, func(lo, hi int) {
 			copyRows(nxt, cur, whole, lo, hi)
 		})
+		sp.End()
 	}
 	elapsed := time.Since(start)
 

@@ -2,6 +2,7 @@ package impl
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stencil"
 )
@@ -25,11 +26,18 @@ func (threadedOverlap) Run(p core.Problem, o core.Options) (*core.Result, error)
 		rows := stencil.Rows(interior)
 		for s := 0; s < rc.p.Steps; s++ {
 			checkCancelRank(rc.o)
+			rc.ex.setStep(s)
+			// The interior span brackets the whole region: the workers
+			// compute for its entire duration while the master's exchange
+			// spans land inside it — that containment is the overlap.
+			sp := rc.span(s, obs.PhaseInterior, "master+workers")
 			rc.team.RunWithMaster(func() {
 				rc.ex.exchangeAll()
 			}, rows, 1, func(lo, hi int) {
 				rc.op.ApplyRows(rc.cur, rc.nxt, interior, lo, hi)
 			})
+			sp.End()
+			sp = rc.span(s, obs.PhaseBoundary, "slabs")
 			for _, sub := range boundary {
 				if sub.Empty() {
 					continue
@@ -39,10 +47,13 @@ func (threadedOverlap) Run(p core.Problem, o core.Options) (*core.Result, error)
 					rc.op.ApplyRows(rc.cur, rc.nxt, sub, lo, hi)
 				})
 			}
+			sp.End()
 			whole := stencil.Whole(rc.cur.N)
+			sp = rc.span(s, obs.PhaseCopy, "")
 			rc.team.ParallelFor(stencil.Rows(whole), par.Static, 0, func(lo, hi int) {
 				copyRows(rc.nxt, rc.cur, whole, lo, hi)
 			})
+			sp.End()
 		}
 	})
 }

@@ -1,10 +1,65 @@
 package impl
 
 import (
+	"math"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/gpusim"
 	"repro/internal/vtime"
 )
+
+// poolTraces installs per-device recording on a world's device pool: a
+// vtime.Trace per device when o.TraceOverlap is set (returned for stats
+// merging), and the obs observer when the run carries a recorder. Device
+// spans are attributed to the group's first rank — with the default one
+// task per GPU that is simply the owning rank.
+func poolTraces(pool []*gpusim.Device, o core.Options) []*vtime.Trace {
+	per := o.TasksPerGPU
+	if per < 1 {
+		per = 1
+	}
+	if o.Rec != nil {
+		for i, dev := range pool {
+			dev.SetObserver(o.Rec, i*per)
+		}
+	}
+	if !o.TraceOverlap {
+		return nil
+	}
+	traces := make([]*vtime.Trace, len(pool))
+	for i, dev := range pool {
+		traces[i] = vtime.NewTrace()
+		dev.SetTrace(traces[i])
+	}
+	return traces
+}
+
+// mergedOverlapStats folds every device's overlap accounting into one stats
+// map: per-key sums across devices (so a single-device world reads exactly
+// as overlapStats), plus the device count and the min/max per-device
+// overlap, which expose stragglers that a rank-0-only trace used to hide.
+func mergedOverlapStats(traces []*vtime.Trace) map[string]float64 {
+	stats := map[string]float64{}
+	if len(traces) == 0 {
+		return stats
+	}
+	minOv, maxOv := math.Inf(1), math.Inf(-1)
+	for _, tr := range traces {
+		per := map[string]float64{}
+		overlapStats(tr, per)
+		for k, v := range per {
+			stats[k] += v
+		}
+		ov := per["trace.overlap.sec"]
+		minOv = min(minOv, ov)
+		maxOv = max(maxOv, ov)
+	}
+	stats["trace.devices"] = float64(len(traces))
+	stats["trace.overlap.min.sec"] = minOv
+	stats["trace.overlap.max.sec"] = maxOv
+	return stats
+}
 
 // overlapStats summarizes a device trace into Result.Stats entries: how
 // much simulated time the interior kernel spent running concurrently with

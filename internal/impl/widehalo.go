@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stencil"
 )
@@ -65,6 +66,9 @@ func (wideHalo) Run(p core.Problem, o core.Options) (*core.Result, error) {
 		nxt := grid.NewField(sub.Size, W)
 		op := opFor(p, cur)
 		ex := newExchanger(c, d, cur)
+		ex.setObs(o.Rec)
+		team.SetRecorder(o.Rec, c.Rank())
+		rank := c.Rank()
 
 		// extended returns the subdomain grown by e points on every side.
 		extended := func(e int) grid.Subdomain {
@@ -83,6 +87,7 @@ func (wideHalo) Run(p core.Problem, o core.Options) (*core.Result, error) {
 			if p.Steps-done < burst {
 				burst = p.Steps - done
 			}
+			ex.setStep(done)
 			ex.exchangeAll()
 			for k := 0; k < burst; k++ {
 				region := extended(W - 1 - k)
@@ -92,12 +97,16 @@ func (wideHalo) Run(p core.Problem, o core.Options) (*core.Result, error) {
 					region = extended(burst - 1 - k)
 				}
 				rows := stencil.Rows(region)
+				sp := o.Rec.Begin(rank, done, obs.PhaseInterior, "extended")
 				team.ParallelFor(rows, par.Static, 0, func(lo, hi int) {
 					op.ApplyRows(cur, nxt, region, lo, hi)
 				})
+				sp.End()
+				sp = o.Rec.Begin(rank, done, obs.PhaseCopy, "")
 				team.ParallelFor(rows, par.Static, 0, func(lo, hi int) {
 					copyRows(nxt, cur, region, lo, hi)
 				})
+				sp.End()
 				done++
 			}
 		}

@@ -17,6 +17,8 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // AnyTag matches any tag in Recv and IRecv.
@@ -94,6 +96,8 @@ type Comm struct {
 	rank    int
 	collSeq int
 	stats   Stats
+	rec     *obs.Recorder
+	step    int
 }
 
 // Stats counts this rank's point-to-point traffic, excluding messages a
@@ -115,6 +119,16 @@ func (c *Comm) Size() int { return c.world.size }
 // Stats returns the traffic counters accumulated so far.
 func (c *Comm) Stats() Stats { return c.stats }
 
+// SetRecorder attaches a span recorder: Send, Recv, and Wait calls record
+// mpi.* spans tagged with this rank and the step set by SetStep. A nil
+// recorder (the default) disables recording. Like all Comm methods, it
+// follows the one-goroutine-at-a-time contract.
+func (c *Comm) SetRecorder(r *obs.Recorder) { c.rec = r }
+
+// SetStep tags subsequently recorded spans with the given timestep.
+// Use -1 (the initial value is 0) for traffic outside the step loop.
+func (c *Comm) SetStep(step int) { c.step = step }
+
 // Send delivers a copy of data to dst with the given tag and returns once
 // the payload is buffered (eager protocol). Sending to self is legal.
 func (c *Comm) Send(dst, tag int, data []float64) {
@@ -126,9 +140,11 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 // the user tag space.
 func (c *Comm) send(dst, tag int, data []float64) {
 	c.checkRank(dst)
+	a := c.rec.Begin(c.rank, c.step, obs.PhaseMPISend, "send")
 	payload := make([]float64, len(data))
 	copy(payload, data)
 	c.world.boxes[dst].put(envelope{src: c.rank, tag: tag, data: payload})
+	a.End()
 	if dst != c.rank {
 		c.stats.SentMessages++
 		c.stats.SentValues += len(data)
@@ -143,7 +159,9 @@ func (c *Comm) Recv(src, tag int, buf []float64) int {
 	if src != AnySource {
 		c.checkRank(src)
 	}
+	a := c.rec.Begin(c.rank, c.step, obs.PhaseMPIRecv, "recv")
 	e := c.world.boxes[c.rank].get(src, tag)
+	a.End()
 	if len(e.data) > len(buf) {
 		panic(fmt.Sprintf("mpi: rank %d: truncation: %d values into %d buffer (src %d tag %d)",
 			c.rank, len(e.data), len(buf), e.src, e.tag))
@@ -193,7 +211,12 @@ func (c *Comm) IRecv(src, tag int, buf []float64) *Request {
 		c.checkRank(src)
 	}
 	c.checkTagOrAny(tag)
-	return &Request{wait: func() int { return c.Recv(src, tag, buf) }}
+	return &Request{wait: func() int {
+		a := c.rec.Begin(c.rank, c.step, obs.PhaseMPIWait, "irecv")
+		n := c.Recv(src, tag, buf)
+		a.End()
+		return n
+	}}
 }
 
 // Waitall completes every request.

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export. The output loads in Perfetto
+// (ui.perfetto.dev) and chrome://tracing: one process per rank, one track
+// (thread) per phase, "X" complete events with microsecond timestamps.
+// Wall and sim spans share the timeline but are distinguished by the
+// event category ("wall"/"sim").
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorded spans as Chrome trace-event JSON.
+// A disabled recorder writes an empty (but valid) trace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.Spans())
+}
+
+// WriteChromeTrace writes a span set as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	type track struct{ rank, tid int }
+	ranks := map[int]bool{}
+	tracks := map[track]Phase{}
+	for _, s := range spans {
+		ranks[s.Rank] = true
+		tracks[track{s.Rank, int(s.Phase)}] = s.Phase
+	}
+	rankList := make([]int, 0, len(ranks))
+	for r := range ranks {
+		rankList = append(rankList, r)
+	}
+	sort.Ints(rankList)
+	for _, r := range rankList {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: r,
+			Args: map[string]any{"name": "rank " + strconv.Itoa(r)},
+		})
+	}
+	trackList := make([]track, 0, len(tracks))
+	for t := range tracks {
+		trackList = append(trackList, t)
+	}
+	sort.Slice(trackList, func(i, j int) bool {
+		if trackList[i].rank != trackList[j].rank {
+			return trackList[i].rank < trackList[j].rank
+		}
+		return trackList[i].tid < trackList[j].tid
+	})
+	for _, t := range trackList {
+		ph := tracks[t]
+		doc.TraceEvents = append(doc.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Ph: "M", PID: t.rank, TID: t.tid,
+				Args: map[string]any{"name": ph.String() + " [" + ph.Base().String() + "]"},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Ph: "M", PID: t.rank, TID: t.tid,
+				Args: map[string]any{"sort_index": t.tid},
+			})
+	}
+
+	for _, s := range spans {
+		name := s.Label
+		if name == "" {
+			name = s.Phase.String()
+		}
+		ev := chromeEvent{
+			Name: name,
+			Cat:  s.Phase.Base().String(),
+			Ph:   "X",
+			TS:   s.Start * 1e6,
+			Dur:  (s.End - s.Start) * 1e6,
+			PID:  s.Rank,
+			TID:  int(s.Phase),
+		}
+		if s.Step >= 0 {
+			ev.Args = map[string]any{"step": s.Step}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

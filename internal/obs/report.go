@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The report measures two canonical phase pairs, the repo's wall-clock
+// analog of the paper's Figures 9/10:
+//
+//   - mpi/compute: how much of the in-flight MPI exchange window was
+//     covered by CPU stencil compute on the same rank (wall base);
+//   - pcie/kernel: how much of the PCIe copy time ran concurrently with
+//     kernels on the same device (sim base).
+//
+// A bulk-synchronous schedule scores ~0 on both; the overlap schedules
+// (§IV-C through §IV-I) score strictly positive.
+const (
+	PairMPICompute = "mpi/compute"
+	PairPCIeKernel = "pcie/kernel"
+)
+
+var pairDefs = []struct {
+	name string
+	comm []Phase // the side being hidden
+	work []Phase // the side doing the hiding
+}{
+	{PairMPICompute, []Phase{PhaseMPIExchange}, []Phase{PhaseInterior, PhaseBoundary}},
+	{PairPCIeKernel, []Phase{PhaseH2D, PhaseD2H}, []Phase{PhaseKernel}},
+}
+
+// PairOverlap is the measured overlap between one phase pair on one rank
+// (or totaled over ranks). Fraction is OverlapSec/CommSec — the share of
+// communication time that was hidden — or 0 when there was no
+// communication at all.
+type PairOverlap struct {
+	Name       string  `json:"name"`
+	CommSec    float64 `json:"comm_sec"`
+	WorkSec    float64 `json:"work_sec"`
+	OverlapSec float64 `json:"overlap_sec"`
+	Fraction   float64 `json:"fraction"`
+}
+
+// RankReport is one rank's phase occupancy and pair overlaps.
+type RankReport struct {
+	Rank  int                `json:"rank"`
+	Spans int                `json:"spans"`
+	Busy  map[string]float64 `json:"busy_sec"` // phase name -> merged busy seconds
+	Pairs []PairOverlap      `json:"pairs"`
+}
+
+// Report is the overlap-efficiency report over all ranks.
+type Report struct {
+	Spans int           `json:"spans"`
+	Ranks []RankReport  `json:"ranks"`
+	Total []PairOverlap `json:"total"`
+}
+
+// Report builds the overlap-efficiency report from the recorded spans.
+// A disabled recorder yields an empty report.
+func (r *Recorder) Report() Report { return BuildReport(r.Spans()) }
+
+// BuildReport computes per-rank and total overlap from a span set.
+func BuildReport(spans []Span) Report {
+	rep := Report{Spans: len(spans)}
+	byRank := map[int][]Span{}
+	for _, s := range spans {
+		byRank[s.Rank] = append(byRank[s.Rank], s)
+	}
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	totals := make([]PairOverlap, len(pairDefs))
+	for i, d := range pairDefs {
+		totals[i].Name = d.name
+	}
+	for _, rank := range ranks {
+		rs := byRank[rank]
+		byPhase := map[Phase][]interval{}
+		for _, s := range rs {
+			byPhase[s.Phase] = append(byPhase[s.Phase], interval{s.Start, s.End})
+		}
+		rr := RankReport{Rank: rank, Spans: len(rs), Busy: map[string]float64{}}
+		for ph, iv := range byPhase {
+			rr.Busy[ph.String()] = busySeconds(merge(iv))
+		}
+		for i, d := range pairDefs {
+			comm := merge(gather(byPhase, d.comm))
+			work := merge(gather(byPhase, d.work))
+			p := PairOverlap{
+				Name:       d.name,
+				CommSec:    busySeconds(comm),
+				WorkSec:    busySeconds(work),
+				OverlapSec: intersectSeconds(comm, work),
+			}
+			if p.CommSec > 0 {
+				p.Fraction = p.OverlapSec / p.CommSec
+			}
+			rr.Pairs = append(rr.Pairs, p)
+			totals[i].CommSec += p.CommSec
+			totals[i].WorkSec += p.WorkSec
+			totals[i].OverlapSec += p.OverlapSec
+		}
+		rep.Ranks = append(rep.Ranks, rr)
+	}
+	for i := range totals {
+		if totals[i].CommSec > 0 {
+			totals[i].Fraction = totals[i].OverlapSec / totals[i].CommSec
+		}
+	}
+	rep.Total = totals
+	return rep
+}
+
+// Pair returns the totaled overlap for the named pair (zero value if the
+// name is unknown).
+func (rep Report) Pair(name string) PairOverlap {
+	for _, p := range rep.Total {
+		if p.Name == name {
+			return p
+		}
+	}
+	return PairOverlap{Name: name}
+}
+
+// WriteText renders the human-readable summary: total pair fractions, then
+// a per-rank phase occupancy table.
+func (rep Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "overlap report: %d spans, %d ranks\n", rep.Spans, len(rep.Ranks))
+	for _, p := range rep.Total {
+		fmt.Fprintf(w, "  %-12s hidden %6.1f%%  (comm %.6fs, compute %.6fs, overlap %.6fs)\n",
+			p.Name, p.Fraction*100, p.CommSec, p.WorkSec, p.OverlapSec)
+	}
+	for _, rr := range rep.Ranks {
+		fmt.Fprintf(w, "  rank %d: %d spans\n", rr.Rank, rr.Spans)
+		names := make([]string, 0, len(rr.Busy))
+		for n := range rr.Busy {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "    %-18s busy %.6fs\n", n, rr.Busy[n])
+		}
+		for _, p := range rr.Pairs {
+			fmt.Fprintf(w, "    %-18s hidden %6.1f%% (%.6fs of %.6fs)\n",
+				p.Name, p.Fraction*100, p.OverlapSec, p.CommSec)
+		}
+	}
+}
+
+// interval arithmetic: merge unions a phase's spans into disjoint sorted
+// intervals; intersectSeconds sweeps two merged sets with two pointers.
+
+type interval struct{ s, e float64 }
+
+func gather(byPhase map[Phase][]interval, phases []Phase) []interval {
+	var out []interval
+	for _, p := range phases {
+		out = append(out, byPhase[p]...)
+	}
+	return out
+}
+
+func merge(iv []interval) []interval {
+	if len(iv) == 0 {
+		return nil
+	}
+	sorted := make([]interval, len(iv))
+	copy(sorted, iv)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].s < sorted[j].s })
+	out := sorted[:1]
+	for _, v := range sorted[1:] {
+		last := &out[len(out)-1]
+		if v.s <= last.e {
+			if v.e > last.e {
+				last.e = v.e
+			}
+		} else {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func busySeconds(merged []interval) float64 {
+	var t float64
+	for _, v := range merged {
+		t += v.e - v.s
+	}
+	return t
+}
+
+func intersectSeconds(a, b []interval) float64 {
+	var t float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].s
+		if b[j].s > lo {
+			lo = b[j].s
+		}
+		hi := a[i].e
+		if b[j].e < hi {
+			hi = b[j].e
+		}
+		if hi > lo {
+			t += hi - lo
+		}
+		if a[i].e < b[j].e {
+			i++
+		} else {
+			j++
+		}
+	}
+	return t
+}

@@ -11,6 +11,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Schedule selects how ParallelFor distributes iterations among workers,
@@ -53,6 +55,19 @@ type Team struct {
 	closed  bool
 	barrier *Barrier
 	mu      sync.Mutex
+
+	// Span recording (see SetRecorder). label is only touched by the
+	// goroutine launching regions, per the Team usage contract.
+	rec   *obs.Recorder
+	rank  int
+	label string
+}
+
+// SetRecorder attaches a span recorder: every parallel region (Run,
+// ParallelFor, RunWithMaster, reductions) records a par.region span tagged
+// with rank. A nil recorder (the default) disables recording.
+func (t *Team) SetRecorder(r *obs.Recorder, rank int) {
+	t.rec, t.rank = r, rank
 }
 
 // NewTeam starts a team of n workers. n must be at least 1. Worker 0 is the
@@ -103,11 +118,17 @@ func (t *Team) Close() {
 // have finished — one OpenMP parallel region. fn may call t.Barrier() to
 // synchronize within the region.
 func (t *Team) Run(fn func(tid int)) {
+	label := t.label
+	if label == "" {
+		label = "region"
+	}
+	a := t.rec.Begin(t.rank, -1, obs.PhaseRegion, label)
 	t.wg.Add(t.n)
 	for i := 0; i < t.n; i++ {
 		t.jobs[i] <- fn
 	}
 	t.wg.Wait()
+	a.End()
 }
 
 // Barrier blocks until every worker of the enclosing Run region has reached
@@ -122,6 +143,8 @@ func (t *Team) ParallelFor(n int, sched Schedule, chunk int, body func(lo, hi in
 	if n <= 0 {
 		return
 	}
+	t.label = sched.String()
+	defer func() { t.label = "" }()
 	switch sched {
 	case Static:
 		t.Run(func(tid int) {
@@ -153,6 +176,8 @@ func (t *Team) ParallelFor(n int, sched Schedule, chunk int, body func(lo, hi in
 // original, with an implicit barrier after the loop, so masterWork is
 // complete when RunWithMaster returns.
 func (t *Team) RunWithMaster(masterWork func(), n int, chunk int, body func(lo, hi int)) {
+	t.label = "master+guided"
+	defer func() { t.label = "" }()
 	s := newScheduler(n, t.n, Guided, chunk)
 	t.Run(func(tid int) {
 		if tid == 0 {

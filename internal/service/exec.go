@@ -10,20 +10,25 @@ import (
 	"repro/internal/harness"
 	_ "repro/internal/impl" // register the functional implementations
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/perf"
 )
 
 // SimulateResult is the rendered document of a simulate job. The final
 // field is deliberately omitted — results are status documents, not
-// multi-megabyte state dumps.
+// multi-megabyte state dumps. Overlap and ChromeTrace are present only
+// when the request set trace: the report summarizes how much communication
+// was hidden; the trace opens in ui.perfetto.dev.
 type SimulateResult struct {
-	Kind       string             `json:"kind"`
-	ElapsedSec float64            `json:"elapsed_sec"`
-	GF         float64            `json:"gf"`
-	L2         float64            `json:"l2,omitempty"`
-	LInf       float64            `json:"linf,omitempty"`
-	MassDrift  float64            `json:"mass_drift,omitempty"`
-	Stats      map[string]float64 `json:"stats,omitempty"`
+	Kind        string             `json:"kind"`
+	ElapsedSec  float64            `json:"elapsed_sec"`
+	GF          float64            `json:"gf"`
+	L2          float64            `json:"l2,omitempty"`
+	LInf        float64            `json:"linf,omitempty"`
+	MassDrift   float64            `json:"mass_drift,omitempty"`
+	Stats       map[string]float64 `json:"stats,omitempty"`
+	Overlap     *obs.Report        `json:"overlap,omitempty"`
+	ChromeTrace json.RawMessage    `json:"chrome_trace,omitempty"`
 }
 
 // PredictResult is the rendered document of a predict job.
@@ -71,6 +76,12 @@ func executeSimulate(ctx context.Context, sr *SimulateRequest) (json.RawMessage,
 	}
 	o := sr.options()
 	o.Ctx = ctx // cancellation is polled between timesteps
+	var rec *obs.Recorder
+	if sr.Trace {
+		rec = obs.NewRecorder()
+		o.Rec = rec
+		o.TraceOverlap = kind.UsesGPU()
+	}
 	res, err := r.Run(sr.problem(), o)
 	if err != nil {
 		return nil, err
@@ -85,6 +96,15 @@ func executeSimulate(ctx context.Context, sr *SimulateRequest) (json.RawMessage,
 		doc.L2 = res.Norms.L2
 		doc.LInf = res.Norms.LInf
 		doc.MassDrift = res.MassDrift
+	}
+	if rec != nil {
+		rep := rec.Report()
+		doc.Overlap = &rep
+		var trace bytes.Buffer
+		if err := rec.WriteChromeTrace(&trace); err != nil {
+			return nil, err
+		}
+		doc.ChromeTrace = trace.Bytes()
 	}
 	return json.Marshal(doc)
 }

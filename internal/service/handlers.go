@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +29,7 @@ type errorDoc struct {
 //	GET    /v1/experiments      experiment catalogue
 //	GET    /metrics             Prometheus text (JSON with ?format=json)
 //	GET    /healthz             liveness
+//	GET    /debug/pprof/        Go profiling endpoints (Config.EnablePprof)
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -39,6 +41,13 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -124,6 +133,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorDoc{Error: "job already finished"})
 		return
 	}
+	s.log.Info("job cancelled", "job", j.ID(), "type", j.View().Type)
 	writeJSON(w, http.StatusOK, j.View())
 }
 

@@ -80,6 +80,10 @@ type SimulateRequest struct {
 	TasksPerGPU  int    `json:"taskspergpu,omitempty"`
 	GPU          string `json:"gpu,omitempty"` // "c1060" or "c2050"
 	Verify       bool   `json:"verify,omitempty"`
+	// Trace attaches a span recorder to the run: the result document then
+	// carries the overlap-efficiency report and a Chrome trace-event JSON
+	// (loadable in ui.perfetto.dev).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PredictRequest queries the calibrated performance model (advect.Predict)
@@ -238,7 +242,13 @@ func (r *Request) CacheKey() string {
 			// the real error.
 			p = r.Simulate.problem()
 		}
-		return "sim-" + core.Fingerprint(k, p, r.Simulate.options().Normalize())
+		prefix := "sim-"
+		if r.Simulate.Trace {
+			// Traced results carry the extra trace payload; keep them from
+			// answering untraced requests (and vice versa).
+			prefix = "simt-"
+		}
+		return prefix + core.Fingerprint(k, p, r.Simulate.options().Normalize())
 	case TypePredict:
 		pr := r.Predict
 		n := pr.N

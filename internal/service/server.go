@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -24,6 +26,12 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Limits bounds what a single request may ask for.
 	Limits Limits
+	// Logger receives structured job-lifecycle events (submit, start,
+	// finish, shed, cancel, drain), each carrying the job ID and type.
+	// Default: discard.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +50,9 @@ func (c Config) withDefaults() Config {
 	if c.Limits == (Limits{}) {
 		c.Limits = DefaultLimits()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -51,6 +62,7 @@ func (c Config) withDefaults() Config {
 // Shutdown.
 type Server struct {
 	cfg     Config
+	log     *slog.Logger
 	store   *Store
 	queue   *Queue
 	cache   *Cache
@@ -69,6 +81,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		log:        cfg.Logger,
 		store:      NewStore(),
 		queue:      NewQueue(cfg.QueueCap),
 		cache:      NewCache(cfg.CacheEntries),
@@ -93,6 +106,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	}
 	if s.draining.Load() {
 		s.metrics.CountJob(req.Type, outcomeRejected)
+		s.log.Warn("job shed", "type", req.Type, "reason", "draining")
 		return nil, ErrDraining
 	}
 	now := time.Now()
@@ -102,14 +116,18 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		s.store.Add(j)
 		s.metrics.CountJob(req.Type, outcomeSubmitted)
 		s.metrics.CountJob(req.Type, outcomeCached)
+		s.log.Info("job submitted", "job", j.id, "type", req.Type, "cache_hit", true)
 		return j, nil
 	}
 	if !s.queue.TryPush(j) {
 		s.metrics.CountJob(req.Type, outcomeRejected)
+		s.log.Warn("job shed", "type", req.Type, "reason", "queue full",
+			"queue_depth", s.queue.Depth())
 		return nil, ErrQueueFull
 	}
 	s.store.Add(j)
 	s.metrics.CountJob(req.Type, outcomeSubmitted)
+	s.log.Info("job submitted", "job", j.id, "type", req.Type, "cache_hit", false)
 	return j, nil
 }
 
@@ -119,6 +137,7 @@ func (s *Server) runJob(j *Job) {
 	if !j.claim(time.Now()) {
 		return // cancelled while queued
 	}
+	s.log.Info("job started", "job", j.id, "type", j.req.Type)
 	start := time.Now()
 	doc, err := execute(j.ctx, j.req)
 	elapsed := time.Since(start)
@@ -129,12 +148,18 @@ func (s *Server) runJob(j *Job) {
 		s.cache.Put(j.cacheKey, doc)
 		s.metrics.CountJob(j.req.Type, outcomeDone)
 		s.metrics.ObserveLatency(j.req.Type, elapsed)
+		s.log.Info("job finished", "job", j.id, "type", j.req.Type,
+			"state", StateDone, "duration", elapsed)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateCancelled, nil, err.Error(), now)
 		s.metrics.CountJob(j.req.Type, outcomeCancelled)
+		s.log.Info("job finished", "job", j.id, "type", j.req.Type,
+			"state", StateCancelled, "duration", elapsed)
 	default:
 		j.finish(StateFailed, nil, err.Error(), now)
 		s.metrics.CountJob(j.req.Type, outcomeFailed)
+		s.log.Error("job finished", "job", j.id, "type", j.req.Type,
+			"state", StateFailed, "duration", elapsed, "error", err)
 	}
 }
 
@@ -175,6 +200,7 @@ func (s *Server) MetricsSnapshot() Snapshot {
 func (s *Server) Shutdown() error {
 	s.draining.Store(true)
 	s.queue.Close()
+	s.log.Info("drain started", "timeout", s.cfg.DrainTimeout)
 	done := make(chan struct{})
 	go func() {
 		s.pool.Wait()
@@ -183,10 +209,12 @@ func (s *Server) Shutdown() error {
 	select {
 	case <-done:
 		s.cancelJobs()
+		s.log.Info("drain finished", "clean", true)
 		return nil
 	case <-time.After(s.cfg.DrainTimeout):
 		s.cancelJobs()
 		<-done
+		s.log.Warn("drain finished", "clean", false, "timeout", s.cfg.DrainTimeout)
 		return fmt.Errorf("service: drain deadline %v exceeded; in-flight jobs were cancelled", s.cfg.DrainTimeout)
 	}
 }

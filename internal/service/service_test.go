@@ -1,16 +1,21 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -472,5 +477,144 @@ func TestCatalogues(t *testing.T) {
 	resp.Body.Close()
 	if len(exps.Experiments) < 10 {
 		t.Fatalf("only %d experiments listed", len(exps.Experiments))
+	}
+}
+
+// TestTracedSimulateJob checks per-job trace capture: a simulate request
+// with trace set returns the overlap report and a loadable Chrome trace in
+// its result document, keyed separately from the untraced computation.
+func TestTracedSimulateJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	traced := `{"type":"simulate","simulate":{"kind":"hybrid-overlap","n":16,"steps":3,"tasks":2,"threads":2,"thickness":2,"trace":true}}`
+	resp, v := postJob(t, ts, traced)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %v", resp.Status)
+	}
+	if !strings.HasPrefix(v.CacheKey, "simt-") {
+		t.Fatalf("traced cache key %q lacks the simt- prefix", v.CacheKey)
+	}
+	waitState(t, ts, v.ID, StateDone)
+
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	var res SimulateResult
+	if err := json.NewDecoder(rr.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Overlap == nil || res.Overlap.Spans == 0 {
+		t.Fatalf("traced result lacks an overlap report: %+v", res.Overlap)
+	}
+	if f := res.Overlap.Pair(obs.PairMPICompute).Fraction; f <= 0 {
+		t.Fatalf("hybrid-overlap mpi/compute fraction = %v, want > 0", f)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(res.ChromeTrace, &trace); err != nil {
+		t.Fatalf("chrome trace does not unmarshal: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	// The untraced flavor of the same computation keys separately and
+	// returns a plain document.
+	untraced := strings.Replace(traced, `,"trace":true`, "", 1)
+	resp, v2 := postJob(t, ts, untraced)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("untraced submit: %v", resp.Status)
+	}
+	if !strings.HasPrefix(v2.CacheKey, "sim-") || v2.CacheKey == v.CacheKey {
+		t.Fatalf("untraced cache key %q should differ from traced %q", v2.CacheKey, v.CacheKey)
+	}
+	waitState(t, ts, v2.ID, StateDone)
+	rr2, err := http.Get(ts.URL + "/v1/jobs/" + v2.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr2.Body.Close()
+	var plain SimulateResult
+	if err := json.NewDecoder(rr2.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Overlap != nil || len(plain.ChromeTrace) != 0 {
+		t.Fatal("untraced result carries trace payload")
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink: the worker writes its "job
+// finished" event after the job state lands, so the test must not read an
+// unsynchronized buffer concurrently.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+// TestStructuredLogging checks the slog lifecycle events at the service
+// level: submit, start, and finish all carry the job ID and type.
+func TestStructuredLogging(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4, Logger: logger})
+	_, v := postJob(t, ts, predictBody)
+	waitState(t, ts, v.ID, StateDone)
+
+	// The finish event is written just after the state lands; wait for it.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(buf.String(), `msg="job finished"`) {
+		if time.Now().After(deadline) {
+			t.Fatalf("no finish event logged:\n%s", buf.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	logs := buf.String()
+	for _, want := range []string{
+		`msg="job submitted"`, `msg="job started"`, `msg="job finished"`,
+		"job=" + v.ID, "type=predict", "state=done", "duration=",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("logs missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+// TestPprofMounting checks that the profiling endpoints exist exactly when
+// Config.EnablePprof is set.
+func TestPprofMounting(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without the flag: want 404, got %v", resp.Status)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with the flag: want 200, got %v", resp.Status)
 	}
 }
