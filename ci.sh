@@ -27,3 +27,17 @@ awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
     if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
     if (ns + 0 > max + 0) { printf "disabled-tracing path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
 }'
+
+# Disabled-telemetry overhead guard: the same contract for the rolling
+# windows behind /v1/stats — a nil *telemetry.Window must stay
+# allocation-free (enabled Observe too, test-asserted) and under the
+# ns/op bound recorded in BENCH_telemetry.json.
+go test -run TestWindowObserveAllocatesNothing -count=1 ./internal/telemetry
+max_ns=$(sed -n 's/.*"disabled_max_ns_per_op": *\([0-9.]*\).*/\1/p' BENCH_telemetry.json)
+bench_out=$(go test -run '^$' -bench BenchmarkWindowDisabled -benchtime 1000000x ./internal/telemetry)
+echo "$bench_out"
+ns=$(echo "$bench_out" | awk '/^BenchmarkWindowDisabled/ {print $3}')
+awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
+    if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
+    if (ns + 0 > max + 0) { printf "disabled-telemetry path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
+}'

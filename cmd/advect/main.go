@@ -37,7 +37,7 @@ func main() {
 		verify    = flag.Bool("verify", true, "compare against the analytic solution")
 		timeout   = flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 = no limit); cancellation is checked between timesteps")
 		minTime   = flag.Duration("mintime", 0, "calibrate the step count so the measurement runs at least this long (the paper's methodology; overrides -steps)")
-		trace     = flag.String("trace", "", "record per-rank phase spans, print the overlap report, and write a Chrome trace-event JSON (open in ui.perfetto.dev) to this file")
+		trace     = flag.String("trace", "", "record per-rank phase spans, print the overlap report with the per-rank load-imbalance/straggler section, and write a Chrome trace-event JSON (open in ui.perfetto.dev) to this file")
 		saveCkpt  = flag.String("save", "", "write a checkpoint of the final state to this file")
 		loadCkpt  = flag.String("load", "", "resume from a checkpoint file (overrides -n)")
 		list      = flag.Bool("list", false, "list implementations and exit")

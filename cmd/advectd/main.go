@@ -13,8 +13,16 @@
 //	curl -s localhost:8080/v1/jobs -d '{"type":"predict","predict":{"machine":"Yona","kind":"hybrid-overlap","cores":96}}'
 //	curl -s localhost:8080/v1/jobs/job-000001/result
 //
-// SIGINT/SIGTERM drain the service: admission stops, in-flight jobs get
-// -drain to finish, stragglers are cancelled between timesteps.
+// Watch the fleet live: GET /v1/stats serves rolling-window telemetry
+// (queue depth/wait, per-type latency quantiles, overlap efficiency,
+// points/sec over the last -window seconds) and GET /v1/stream is an SSE
+// feed of job events plus periodic stats snapshots every -stream interval.
+// A traced simulate job's stitched Chrome trace — request lifecycle and
+// per-rank runner phases on one timeline — is at GET /v1/jobs/{id}/trace.
+//
+// SIGINT/SIGTERM drain the service: admission stops, /healthz flips to 503
+// so load balancers stop routing, in-flight jobs get -drain to finish,
+// stragglers are cancelled between timesteps.
 //
 // The daemon logs structured job-lifecycle events (log/slog, logfmt text
 // or JSON with -logjson) to stderr, and -pprof exposes the Go profiling
@@ -49,6 +57,8 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
 		logJSON  = flag.Bool("logjson", false, "emit logs as JSON instead of logfmt text")
 		logLevel = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
+		window   = flag.Duration("window", 60*time.Second, "rolling telemetry window for /v1/stats and /v1/stream")
+		stream   = flag.Duration("stream", time.Second, "default stats cadence on /v1/stream (per-request ?interval= overrides)")
 	)
 	flag.Parse()
 
@@ -75,6 +85,7 @@ func main() {
 		Workers: *workers, QueueCap: *queue, CacheEntries: *cache,
 		DrainTimeout: *drain, Limits: lim,
 		Logger: logger, EnablePprof: *pprofOn,
+		StatsWindow: *window, StreamInterval: *stream,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

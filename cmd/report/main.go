@@ -94,6 +94,19 @@ func main() {
 		fmt.Fprintln(w, "```")
 		fmt.Fprintln(w)
 	}
+
+	fmt.Fprintln(w, "## Observability")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "The figures above are model-driven; the functional runs behind them")
+	fmt.Fprintln(w, "can be inspected span by span. `cmd/advect -trace` records per-rank")
+	fmt.Fprintln(w, "phase spans and prints the overlap-efficiency report together with the")
+	fmt.Fprintln(w, "per-rank load-imbalance/straggler report (max/mean busy time, the")
+	fmt.Fprintln(w, "straggler's critical-path share, and the per-phase spread that names")
+	fmt.Fprintln(w, "why it straggles); the written Chrome trace opens in ui.perfetto.dev.")
+	fmt.Fprintln(w, "The `advectd` daemon exposes the same spans per traced job at")
+	fmt.Fprintln(w, "`GET /v1/jobs/{id}/trace` — stitched with the request lifecycle —")
+	fmt.Fprintln(w, "plus rolling-window telemetry at `GET /v1/stats` and a live SSE feed")
+	fmt.Fprintln(w, "at `GET /v1/stream`. See README \"Live telemetry\" and \"Observability\".")
 }
 
 // writeMarkdown renders a stats.Table as a Markdown table.

@@ -58,6 +58,11 @@ func mergedOverlapStats(traces []*vtime.Trace) map[string]float64 {
 	stats["trace.devices"] = float64(len(traces))
 	stats["trace.overlap.min.sec"] = minOv
 	stats["trace.overlap.max.sec"] = maxOv
+	if mean := stats["trace.overlap.sec"] / float64(len(traces)); mean > 0 {
+		// Max/mean per-device overlap: the device-side imbalance ratio,
+		// matching the rank-side straggler report in obs.BuildImbalance.
+		stats["trace.overlap.imbalance"] = maxOv / mean
+	}
 	return stats
 }
 

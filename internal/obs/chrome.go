@@ -52,9 +52,13 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 	}
 	sort.Ints(rankList)
 	for _, r := range rankList {
+		name := "rank " + strconv.Itoa(r)
+		if r == RankService {
+			name = "service"
+		}
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", PID: r,
-			Args: map[string]any{"name": "rank " + strconv.Itoa(r)},
+			Args: map[string]any{"name": name},
 		})
 	}
 	trackList := make([]track, 0, len(tracks))

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// twoRankHybridSpans is a deterministic span set shaped like a traced
+// two-rank hybrid run submitted through advectd: a service track plus two
+// ranks with CPU compute, an MPI exchange window, PCIe copies, and kernels.
+func twoRankHybridSpans() []Span {
+	return []Span{
+		// service track (RankService): request lifecycle
+		{Rank: RankService, Step: -1, Phase: PhaseHTTPReceive, Start: 0, End: 0.001},
+		{Rank: RankService, Step: -1, Phase: PhaseCacheLookup, Start: 0.0002, End: 0.0004},
+		{Rank: RankService, Step: -1, Phase: PhaseQueueWait, Start: 0.001, End: 0.003},
+		{Rank: RankService, Step: -1, Phase: PhaseWorkerExec, Start: 0.003, End: 0.050},
+		{Rank: RankService, Step: -1, Phase: PhaseResultEncode, Start: 0.050, End: 0.051},
+		// rank 0: compute overlapping an exchange window, then device work
+		{Rank: 0, Step: 0, Phase: PhaseMPIExchange, Start: 0.004, End: 0.010},
+		{Rank: 0, Step: 0, Phase: PhaseInterior, Start: 0.005, End: 0.009},
+		{Rank: 0, Step: 0, Phase: PhaseBoundary, Start: 0.010, End: 0.012},
+		{Rank: 0, Step: -1, Phase: PhaseH2D, Start: 0, End: 0.002},
+		{Rank: 0, Step: -1, Phase: PhaseKernel, Start: 0.001, End: 0.006},
+		{Rank: 0, Step: -1, Phase: PhaseD2H, Start: 0.006, End: 0.007},
+		// rank 1: the straggler — longer interior compute
+		{Rank: 1, Step: 0, Phase: PhaseMPIExchange, Start: 0.004, End: 0.010},
+		{Rank: 1, Step: 0, Phase: PhaseInterior, Start: 0.005, End: 0.018},
+		{Rank: 1, Step: 0, Phase: PhaseBoundary, Start: 0.018, End: 0.020},
+		{Rank: 1, Step: -1, Phase: PhaseH2D, Start: 0, End: 0.002},
+		{Rank: 1, Step: -1, Phase: PhaseKernel, Start: 0.001, End: 0.008},
+		{Rank: 1, Step: -1, Phase: PhaseD2H, Start: 0.008, End: 0.009},
+	}
+}
+
+// TestChromeTraceGolden locks the exact exported bytes for the two-rank
+// hybrid span set. Regenerate with UPDATE_GOLDEN=1 go test ./internal/obs
+// after an intentional format change, and eyeball the diff.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, twoRankHybridSpans()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "chrome_two_rank.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden file %s\n got: %s\nwant: %s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceStructure checks the invariants the golden bytes encode:
+// valid JSON, metadata before duration events, correct pid/tid track
+// assignment, and the service process name.
+func TestChromeTraceStructure(t *testing.T) {
+	spans := twoRankHybridSpans()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	// All metadata ("M") events precede all duration ("X") events.
+	seenX := false
+	procNames := map[int]string{}
+	nX := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if seenX {
+				t.Fatalf("metadata event %q after duration events", ev.Name)
+			}
+			if ev.Name == "process_name" {
+				procNames[ev.PID] = ev.Args["name"].(string)
+			}
+		case "X":
+			seenX = true
+			nX++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if nX != len(spans) {
+		t.Fatalf("got %d X events, want %d", nX, len(spans))
+	}
+	if procNames[RankService] != "service" || procNames[0] != "rank 0" || procNames[1] != "rank 1" {
+		t.Fatalf("process names = %v", procNames)
+	}
+
+	// Every X event's pid is its span's rank and its tid is its phase,
+	// so each phase gets a stable track within its rank's process.
+	for _, s := range spans {
+		found := false
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" && ev.PID == s.Rank && ev.TID == int(s.Phase) &&
+				ev.TS == s.Start*1e6 && ev.Name == s.Phase.String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no X event with pid=%d tid=%d ts=%g for span %+v",
+				s.Rank, int(s.Phase), s.Start*1e6, s)
+		}
+	}
+}

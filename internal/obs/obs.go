@@ -79,24 +79,50 @@ const (
 	// PhaseRegion is a par.Team parallel region (any schedule).
 	PhaseRegion
 
+	// The remaining phases are the advectd request lifecycle. They are
+	// recorded on the synthetic service rank (RankService), so a traced
+	// job's export shows its queue wait and worker handoff on the same
+	// timeline as the per-rank runner phases above.
+
+	// PhaseHTTPReceive is admission: validate, cache probe, enqueue.
+	PhaseHTTPReceive
+	// PhaseQueueWait is the gap between enqueue and a worker's claim.
+	PhaseQueueWait
+	// PhaseCacheLookup is the result-cache probe during admission.
+	PhaseCacheLookup
+	// PhaseWorkerExec is a worker executing the job body.
+	PhaseWorkerExec
+	// PhaseResultEncode is rendering the result document.
+	PhaseResultEncode
+
 	numPhases
 )
 
+// RankService is the synthetic rank service-level spans are recorded under,
+// keeping the request lifecycle on its own track, separate from the
+// simulation ranks (which are always >= 0).
+const RankService = -1
+
 var phaseNames = [numPhases]string{
-	PhaseInterior:    "compute.interior",
-	PhaseBoundary:    "compute.boundary",
-	PhaseHaloPack:    "halo.pack",
-	PhaseHaloUnpack:  "halo.unpack",
-	PhaseMPISend:     "mpi.send",
-	PhaseMPIRecv:     "mpi.recv",
-	PhaseMPIWait:     "mpi.wait",
-	PhaseMPIExchange: "mpi.exchange",
-	PhaseH2D:         "pcie.h2d",
-	PhaseD2H:         "pcie.d2h",
-	PhaseKernel:      "gpu.kernel",
-	PhaseLaunch:      "gpu.launch",
-	PhaseCopy:        "copy",
-	PhaseRegion:      "par.region",
+	PhaseInterior:     "compute.interior",
+	PhaseBoundary:     "compute.boundary",
+	PhaseHaloPack:     "halo.pack",
+	PhaseHaloUnpack:   "halo.unpack",
+	PhaseMPISend:      "mpi.send",
+	PhaseMPIRecv:      "mpi.recv",
+	PhaseMPIWait:      "mpi.wait",
+	PhaseMPIExchange:  "mpi.exchange",
+	PhaseH2D:          "pcie.h2d",
+	PhaseD2H:          "pcie.d2h",
+	PhaseKernel:       "gpu.kernel",
+	PhaseLaunch:       "gpu.launch",
+	PhaseCopy:         "copy",
+	PhaseRegion:       "par.region",
+	PhaseHTTPReceive:  "svc.receive",
+	PhaseQueueWait:    "svc.queue",
+	PhaseCacheLookup:  "svc.cache",
+	PhaseWorkerExec:   "svc.exec",
+	PhaseResultEncode: "svc.encode",
 }
 
 func (p Phase) String() string {

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -52,9 +53,47 @@ type RankReport struct {
 
 // Report is the overlap-efficiency report over all ranks.
 type Report struct {
-	Spans int           `json:"spans"`
-	Ranks []RankReport  `json:"ranks"`
-	Total []PairOverlap `json:"total"`
+	Spans     int              `json:"spans"`
+	Ranks     []RankReport     `json:"ranks"`
+	Total     []PairOverlap    `json:"total"`
+	Imbalance *ImbalanceReport `json:"imbalance,omitempty"`
+}
+
+// RankLoad is one rank's contribution to the imbalance report: its merged
+// wall-clock busy time and the share of the run's makespan it covers. A
+// straggler has a critical-path share near 1 while its peers idle.
+type RankLoad struct {
+	Rank      int     `json:"rank"`
+	BusySec   float64 `json:"busy_sec"`
+	CritShare float64 `json:"critical_path_share"`
+}
+
+// PhaseImbalance is the max/mean spread of one phase's busy time across
+// ranks. A ratio near 1 is balanced; well above 1 names the phase that
+// makes the straggler a straggler.
+type PhaseImbalance struct {
+	Phase   string  `json:"phase"`
+	MeanSec float64 `json:"mean_sec"`
+	MaxSec  float64 `json:"max_sec"`
+	Ratio   float64 `json:"ratio"`
+	MaxRank int     `json:"max_rank"`
+}
+
+// ImbalanceReport quantifies per-rank load imbalance: total wall-clock busy
+// time per rank (max/mean and the straggler's identity), the run's wall
+// makespan, and the per-phase spread. Only simulation ranks (>= 0)
+// participate; totals use wall-base spans only, because sim-base device
+// time is not commensurable with the wall makespan. Per-phase entries are
+// base-consistent by construction (a phase has exactly one base) and so
+// include the sim phases.
+type ImbalanceReport struct {
+	Ranks       []RankLoad       `json:"ranks"`
+	MeanSec     float64          `json:"mean_sec"`
+	MaxSec      float64          `json:"max_sec"`
+	Ratio       float64          `json:"ratio"`
+	Straggler   int              `json:"straggler"`
+	MakespanSec float64          `json:"makespan_sec"`
+	Phases      []PhaseImbalance `json:"phases,omitempty"`
 }
 
 // Report builds the overlap-efficiency report from the recorded spans.
@@ -113,6 +152,85 @@ func BuildReport(spans []Span) Report {
 		}
 	}
 	rep.Total = totals
+	rep.Imbalance = BuildImbalance(spans)
+	return rep
+}
+
+// BuildImbalance computes the per-rank load-imbalance/straggler report from
+// a span set. It returns nil when fewer than one simulation rank recorded
+// wall-base spans (service-only traces, disabled recorders).
+func BuildImbalance(spans []Span) *ImbalanceReport {
+	busy := map[int][]interval{}            // rank -> wall spans
+	phase := map[Phase]map[int][]interval{} // phase -> rank -> spans
+	lo, hi := math.Inf(1), math.Inf(-1)     // wall makespan window
+	for _, s := range spans {
+		if s.Rank < 0 {
+			continue // service track: not a simulation rank
+		}
+		if s.Phase.Base() == BaseWall {
+			busy[s.Rank] = append(busy[s.Rank], interval{s.Start, s.End})
+			lo = math.Min(lo, s.Start)
+			hi = math.Max(hi, s.End)
+		}
+		pr := phase[s.Phase]
+		if pr == nil {
+			pr = map[int][]interval{}
+			phase[s.Phase] = pr
+		}
+		pr[s.Rank] = append(pr[s.Rank], interval{s.Start, s.End})
+	}
+	if len(busy) == 0 {
+		return nil
+	}
+	ranks := make([]int, 0, len(busy))
+	for r := range busy {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	rep := &ImbalanceReport{MakespanSec: hi - lo, Straggler: ranks[0]}
+	var sum float64
+	for _, r := range ranks {
+		b := busySeconds(merge(busy[r]))
+		load := RankLoad{Rank: r, BusySec: b}
+		if rep.MakespanSec > 0 {
+			load.CritShare = b / rep.MakespanSec
+		}
+		rep.Ranks = append(rep.Ranks, load)
+		sum += b
+		if b > rep.MaxSec {
+			rep.MaxSec, rep.Straggler = b, r
+		}
+	}
+	rep.MeanSec = sum / float64(len(ranks))
+	if rep.MeanSec > 0 {
+		rep.Ratio = rep.MaxSec / rep.MeanSec
+	}
+
+	phases := make([]Phase, 0, len(phase))
+	for p := range phase {
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i] < phases[j] })
+	for _, p := range phases {
+		pi := PhaseImbalance{Phase: p.String()}
+		var psum float64
+		// Ranks missing the phase count as zero: an absent phase on one
+		// rank IS imbalance, not a smaller denominator.
+		for i, r := range ranks {
+			b := busySeconds(merge(phase[p][r]))
+			psum += b
+			if i == 0 || b > pi.MaxSec {
+				pi.MaxSec, pi.MaxRank = b, r
+			}
+		}
+		if psum == 0 {
+			continue
+		}
+		pi.MeanSec = psum / float64(len(ranks))
+		pi.Ratio = pi.MaxSec / pi.MeanSec
+		rep.Phases = append(rep.Phases, pi)
+	}
 	return rep
 }
 
@@ -135,6 +253,14 @@ func (rep Report) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "  %-12s hidden %6.1f%%  (comm %.6fs, compute %.6fs, overlap %.6fs)\n",
 			p.Name, p.Fraction*100, p.CommSec, p.WorkSec, p.OverlapSec)
 	}
+	if im := rep.Imbalance; im != nil {
+		fmt.Fprintf(w, "  imbalance: max/mean %.2f, straggler rank %d (busy %.6fs of %.6fs makespan, critical-path share %5.1f%%)\n",
+			im.Ratio, im.Straggler, im.MaxSec, im.MakespanSec, im.critShare()*100)
+		for _, pi := range im.Phases {
+			fmt.Fprintf(w, "    %-18s max/mean %.2f (rank %d, max %.6fs, mean %.6fs)\n",
+				pi.Phase, pi.Ratio, pi.MaxRank, pi.MaxSec, pi.MeanSec)
+		}
+	}
 	for _, rr := range rep.Ranks {
 		fmt.Fprintf(w, "  rank %d: %d spans\n", rr.Rank, rr.Spans)
 		names := make([]string, 0, len(rr.Busy))
@@ -150,6 +276,16 @@ func (rep Report) WriteText(w io.Writer) {
 				p.Name, p.Fraction*100, p.OverlapSec, p.CommSec)
 		}
 	}
+}
+
+// critShare returns the straggler's critical-path share.
+func (im *ImbalanceReport) critShare() float64 {
+	for _, r := range im.Ranks {
+		if r.Rank == im.Straggler {
+			return r.CritShare
+		}
+	}
+	return 0
 }
 
 // interval arithmetic: merge unions a phase's spans into disjoint sorted

@@ -16,19 +16,21 @@ import (
 
 // SimulateResult is the rendered document of a simulate job. The final
 // field is deliberately omitted — results are status documents, not
-// multi-megabyte state dumps. Overlap and ChromeTrace are present only
-// when the request set trace: the report summarizes how much communication
-// was hidden; the trace opens in ui.perfetto.dev.
+// multi-megabyte state dumps. Overlap and TraceURL are present only when
+// the request set trace: the report summarizes how much communication was
+// hidden; the URL serves the stitched Chrome trace-event JSON (the blob
+// itself is no longer embedded — pass ?embed_trace=1 to the result
+// endpoint for the legacy inline form).
 type SimulateResult struct {
-	Kind        string             `json:"kind"`
-	ElapsedSec  float64            `json:"elapsed_sec"`
-	GF          float64            `json:"gf"`
-	L2          float64            `json:"l2,omitempty"`
-	LInf        float64            `json:"linf,omitempty"`
-	MassDrift   float64            `json:"mass_drift,omitempty"`
-	Stats       map[string]float64 `json:"stats,omitempty"`
-	Overlap     *obs.Report        `json:"overlap,omitempty"`
-	ChromeTrace json.RawMessage    `json:"chrome_trace,omitempty"`
+	Kind       string             `json:"kind"`
+	ElapsedSec float64            `json:"elapsed_sec"`
+	GF         float64            `json:"gf"`
+	L2         float64            `json:"l2,omitempty"`
+	LInf       float64            `json:"linf,omitempty"`
+	MassDrift  float64            `json:"mass_drift,omitempty"`
+	Stats      map[string]float64 `json:"stats,omitempty"`
+	Overlap    *obs.Report        `json:"overlap,omitempty"`
+	TraceURL   string             `json:"trace_url,omitempty"`
 }
 
 // PredictResult is the rendered document of a predict job.
@@ -52,11 +54,13 @@ type ExperimentResult struct {
 }
 
 // execute runs a validated request to completion under ctx and returns the
-// rendered result document.
-func execute(ctx context.Context, req Request) (json.RawMessage, error) {
+// rendered result document. rec is the job's span recorder (nil for
+// untraced jobs); the runner records its per-rank phases into it, so the
+// spans land on the same timeline as the service-level request lifecycle.
+func execute(ctx context.Context, req Request, rec *obs.Recorder, jobID string) (json.RawMessage, error) {
 	switch req.Type {
 	case TypeSimulate:
-		return executeSimulate(ctx, req.Simulate)
+		return executeSimulate(ctx, req.Simulate, rec, jobID)
 	case TypePredict:
 		return executePredict(ctx, req.Predict)
 	case TypeExperiment:
@@ -65,7 +69,7 @@ func execute(ctx context.Context, req Request) (json.RawMessage, error) {
 	return nil, fmt.Errorf("service: unknown job type %q", req.Type)
 }
 
-func executeSimulate(ctx context.Context, sr *SimulateRequest) (json.RawMessage, error) {
+func executeSimulate(ctx context.Context, sr *SimulateRequest, rec *obs.Recorder, jobID string) (json.RawMessage, error) {
 	kind, err := core.ParseKind(sr.Kind)
 	if err != nil {
 		return nil, err
@@ -76,9 +80,7 @@ func executeSimulate(ctx context.Context, sr *SimulateRequest) (json.RawMessage,
 	}
 	o := sr.options()
 	o.Ctx = ctx // cancellation is polled between timesteps
-	var rec *obs.Recorder
-	if sr.Trace {
-		rec = obs.NewRecorder()
+	if rec != nil {
 		o.Rec = rec
 		o.TraceOverlap = kind.UsesGPU()
 	}
@@ -100,13 +102,12 @@ func executeSimulate(ctx context.Context, sr *SimulateRequest) (json.RawMessage,
 	if rec != nil {
 		rep := rec.Report()
 		doc.Overlap = &rep
-		var trace bytes.Buffer
-		if err := rec.WriteChromeTrace(&trace); err != nil {
-			return nil, err
-		}
-		doc.ChromeTrace = trace.Bytes()
+		doc.TraceURL = "/v1/jobs/" + jobID + "/trace"
 	}
-	return json.Marshal(doc)
+	enc := rec.Begin(obs.RankService, -1, obs.PhaseResultEncode, "")
+	out, err := json.Marshal(doc)
+	enc.End()
+	return out, err
 }
 
 func executePredict(ctx context.Context, pr *PredictRequest) (json.RawMessage, error) {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // errorDoc is the JSON error envelope.
@@ -24,11 +26,14 @@ type errorDoc struct {
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result document (202 while pending)
+//	GET    /v1/jobs/{id}/trace  stitched Chrome trace of a traced job
 //	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/stats            rolling-window telemetry (last N seconds)
+//	GET    /v1/stream           live SSE stream of job events and stats
 //	GET    /v1/kinds            implementation catalogue
 //	GET    /v1/experiments      experiment catalogue
 //	GET    /metrics             Prometheus text (JSON with ?format=json)
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness (503 while draining)
 //	GET    /debug/pprof/        Go profiling endpoints (Config.EnablePprof)
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -36,7 +41,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -107,6 +115,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if doc, ok := j.Result(); ok {
+		// ?embed_trace=1 restores the legacy inline form for clients that
+		// predate GET /v1/jobs/{id}/trace.
+		if r.URL.Query().Get("embed_trace") == "1" && j.Trace() != nil {
+			doc = embedTrace(doc, j.Trace())
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(doc)
@@ -175,10 +188,59 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(snap.Prometheus()))
 }
 
+// handleHealthz is drain-aware: once Shutdown begins it answers 503 so load
+// balancers stop routing to an instance that will refuse new jobs anyway.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
 	if s.Draining() {
-		status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": status})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleTrace serves a traced job's stitched Chrome trace-event JSON: the
+// service-level request lifecycle (RankService) and the runner's per-rank
+// phases, on one timeline anchored at the submit instant. Loadable in
+// ui.perfetto.dev. The trace reflects spans recorded so far, so a running
+// job yields a partial (but valid) trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	rec := j.Trace()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorDoc{
+			Error: "job has no trace (submit with simulate.trace=true; cache hits carry no trace)",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = rec.WriteChromeTrace(w)
+}
+
+// handleStats serves the rolling-window telemetry document.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// embedTrace injects the chrome_trace blob into an already-rendered result
+// document, reproducing the pre-trace_url result shape.
+func embedTrace(doc json.RawMessage, rec *obs.Recorder) json.RawMessage {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return doc
+	}
+	var trace bytes.Buffer
+	if err := rec.WriteChromeTrace(&trace); err != nil {
+		return doc
+	}
+	m["chrome_trace"] = json.RawMessage(bytes.TrimSpace(trace.Bytes()))
+	out, err := json.Marshal(m)
+	if err != nil {
+		return doc
+	}
+	return out
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // State is a job's position in its lifecycle.
@@ -54,6 +55,11 @@ const (
 // Types lists the job types the service accepts.
 func Types() []string { return []string{TypeSimulate, TypePredict, TypeExperiment} }
 
+// Traced reports whether the request asked for span recording.
+func (r *Request) Traced() bool {
+	return r.Type == TypeSimulate && r.Simulate != nil && r.Simulate.Trace
+}
+
 // Request is the body of POST /v1/jobs: a type tag plus the matching
 // payload.
 type Request struct {
@@ -81,8 +87,10 @@ type SimulateRequest struct {
 	GPU          string `json:"gpu,omitempty"` // "c1060" or "c2050"
 	Verify       bool   `json:"verify,omitempty"`
 	// Trace attaches a span recorder to the run: the result document then
-	// carries the overlap-efficiency report and a Chrome trace-event JSON
-	// (loadable in ui.perfetto.dev).
+	// carries the overlap-efficiency report and a trace_url pointing at
+	// GET /v1/jobs/{id}/trace, which serves a stitched Chrome trace-event
+	// JSON (loadable in ui.perfetto.dev) of the request lifecycle and the
+	// per-rank runner phases on one timeline.
 	Trace bool `json:"trace,omitempty"`
 }
 
@@ -244,9 +252,12 @@ func (r *Request) CacheKey() string {
 		}
 		prefix := "sim-"
 		if r.Simulate.Trace {
-			// Traced results carry the extra trace payload; keep them from
-			// answering untraced requests (and vice versa).
-			prefix = "simt-"
+			// Traced results carry the overlap report and trace_url; keep
+			// them from answering untraced requests (and vice versa). The
+			// format version ("2") changed when the chrome_trace blob was
+			// replaced by trace_url, so old-shape cached documents cannot
+			// be replayed.
+			prefix = "simt2-"
 		}
 		return prefix + core.Fingerprint(k, p, r.Simulate.options().Normalize())
 	case TypePredict:
@@ -287,16 +298,35 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// rec is the job's span recorder, created at submit time for traced
+	// requests (nil otherwise, which disables all recording). Because it
+	// exists before the worker handoff, service-level spans (queue wait,
+	// worker exec) and the runner's per-rank spans share one epoch — the
+	// stitched timeline behind GET /v1/jobs/{id}/trace. Set once before
+	// the job is shared; safe to read without the mutex.
+	rec *obs.Recorder
+	// queuedAt is rec's clock reading when the job entered the queue.
+	queuedAt float64
 }
 
-// newJob builds a queued job whose context descends from base.
+// newJob builds a queued job whose context descends from base. Traced
+// requests get a live span recorder whose epoch is the submit instant.
 func newJob(id string, req Request, base context.Context, now time.Time) *Job {
 	ctx, cancel := context.WithCancel(base)
-	return &Job{
+	j := &Job{
 		id: id, req: req, state: StateQueued, submitted: now,
 		cacheKey: req.CacheKey(), ctx: ctx, cancel: cancel,
 	}
+	if req.Traced() {
+		j.rec = obs.NewRecorder()
+	}
+	return j
 }
+
+// Trace returns the job's span recorder (nil for untraced jobs and jobs
+// answered from the result cache).
+func (j *Job) Trace() *obs.Recorder { return j.rec }
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }

@@ -10,6 +10,9 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // Config sizes the service. The zero value selects the defaults.
@@ -32,6 +35,12 @@ type Config struct {
 	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// StatsWindow is the span of the rolling telemetry windows behind
+	// GET /v1/stats and the SSE stream. Default 60s.
+	StatsWindow time.Duration
+	// StreamInterval is the default cadence of stats events on
+	// GET /v1/stream (overridable per request with ?interval=). Default 1s.
+	StreamInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +62,12 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.StatsWindow <= 0 {
+		c.StatsWindow = 60 * time.Second
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = time.Second
+	}
 	return c
 }
 
@@ -67,6 +82,8 @@ type Server struct {
 	queue   *Queue
 	cache   *Cache
 	metrics *Metrics
+	tele    *Telemetry
+	hub     *telemetry.Hub
 	pool    *Pool
 	mux     *http.ServeMux
 
@@ -86,6 +103,8 @@ func New(cfg Config) *Server {
 		queue:      NewQueue(cfg.QueueCap),
 		cache:      NewCache(cfg.CacheEntries),
 		metrics:    NewMetrics(time.Now()),
+		tele:       NewTelemetry(cfg.StatsWindow, cfg.QueueCap),
+		hub:        telemetry.NewHub(),
 		baseCtx:    ctx,
 		cancelJobs: cancel,
 	}
@@ -111,12 +130,19 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	}
 	now := time.Now()
 	j := newJob(s.store.NewID(), req, s.baseCtx, now)
-	if doc, ok := s.cache.Get(j.cacheKey); ok {
+	lookup := j.rec.Begin(obs.RankService, -1, obs.PhaseCacheLookup, "")
+	doc, hit := s.cache.Get(j.cacheKey)
+	lookup.End()
+	if hit {
+		// A cache hit never ran under this job's recorder, so the stitched
+		// trace would be service-only noise; drop it.
+		j.rec = nil
 		j.completeFromCache(doc, now)
 		s.store.Add(j)
 		s.metrics.CountJob(req.Type, outcomeSubmitted)
 		s.metrics.CountJob(req.Type, outcomeCached)
 		s.log.Info("job submitted", "job", j.id, "type", req.Type, "cache_hit", true)
+		s.publishJob(j)
 		return j, nil
 	}
 	if !s.queue.TryPush(j) {
@@ -125,21 +151,44 @@ func (s *Server) Submit(req Request) (*Job, error) {
 			"queue_depth", s.queue.Depth())
 		return nil, ErrQueueFull
 	}
+	j.queuedAt = j.rec.Clock()
+	j.rec.Add(obs.RankService, -1, obs.PhaseHTTPReceive, "", 0, j.queuedAt)
 	s.store.Add(j)
 	s.metrics.CountJob(req.Type, outcomeSubmitted)
+	s.tele.RecordDepth(now, s.queue.Depth())
 	s.log.Info("job submitted", "job", j.id, "type", req.Type, "cache_hit", false)
+	s.publishJob(j)
 	return j, nil
+}
+
+// publishJob emits a job lifecycle event on the live stream.
+func (s *Server) publishJob(j *Job) {
+	v := j.View()
+	data, err := json.Marshal(map[string]any{
+		"id": v.ID, "type": v.Type, "state": v.State,
+	})
+	if err != nil {
+		return
+	}
+	s.hub.Publish(telemetry.Event{Name: "job", Data: data})
 }
 
 // runJob is the worker loop body: claim, execute under the job context,
 // land the terminal state, feed the cache and the metrics.
 func (s *Server) runJob(j *Job) {
-	if !j.claim(time.Now()) {
+	claimed := time.Now()
+	if !j.claim(claimed) {
 		return // cancelled while queued
 	}
+	j.rec.Add(obs.RankService, -1, obs.PhaseQueueWait, "", j.queuedAt, j.rec.Clock())
+	s.tele.RecordQueueWait(claimed, claimed.Sub(j.submitted))
+	s.tele.RecordDepth(claimed, s.queue.Depth())
 	s.log.Info("job started", "job", j.id, "type", j.req.Type)
+	s.publishJob(j)
 	start := time.Now()
-	doc, err := execute(j.ctx, j.req)
+	exec := j.rec.Begin(obs.RankService, -1, obs.PhaseWorkerExec, "")
+	doc, err := execute(j.ctx, j.req, j.rec, j.id)
+	exec.End()
 	elapsed := time.Since(start)
 	now := time.Now()
 	switch {
@@ -148,6 +197,18 @@ func (s *Server) runJob(j *Job) {
 		s.cache.Put(j.cacheKey, doc)
 		s.metrics.CountJob(j.req.Type, outcomeDone)
 		s.metrics.ObserveLatency(j.req.Type, elapsed)
+		s.tele.RecordExec(now, j.req.Type, elapsed)
+		if sr := j.req.Simulate; j.req.Type == TypeSimulate && sr != nil {
+			n := float64(sr.N)
+			s.tele.RecordPoints(now, n*n*n*float64(sr.Steps))
+		}
+		if j.rec != nil {
+			// The pair totals here match the report embedded in the result
+			// document exactly: the service-level spans recorded since are
+			// not part of any overlap pair.
+			rep := obs.BuildReport(j.rec.Spans())
+			s.tele.RecordOverlap(now, &rep)
+		}
 		s.log.Info("job finished", "job", j.id, "type", j.req.Type,
 			"state", StateDone, "duration", elapsed)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -161,6 +222,7 @@ func (s *Server) runJob(j *Job) {
 		s.log.Error("job finished", "job", j.id, "type", j.req.Type,
 			"state", StateFailed, "duration", elapsed, "error", err)
 	}
+	s.publishJob(j)
 }
 
 // RetryAfter estimates how long a rejected client should wait: the queue
@@ -192,6 +254,15 @@ func (s *Server) MetricsSnapshot() Snapshot {
 	)
 }
 
+// StatsSnapshot assembles the rolling-window telemetry document.
+func (s *Server) StatsSnapshot() TelemetryStats {
+	return s.tele.Stats(
+		time.Now(),
+		QueueGauges{Depth: s.queue.Depth(), Capacity: s.queue.Cap()},
+		WorkerGauges{Busy: s.pool.Busy(), Total: s.pool.Workers()},
+	)
+}
+
 // Shutdown drains the service: admission stops (new submissions get 503),
 // queued and running jobs are given the drain timeout to finish, and any
 // still running at the deadline are cancelled through their contexts (the
@@ -209,11 +280,13 @@ func (s *Server) Shutdown() error {
 	select {
 	case <-done:
 		s.cancelJobs()
+		s.hub.Close()
 		s.log.Info("drain finished", "clean", true)
 		return nil
 	case <-time.After(s.cfg.DrainTimeout):
 		s.cancelJobs()
 		<-done
+		s.hub.Close()
 		s.log.Warn("drain finished", "clean", false, "timeout", s.cfg.DrainTimeout)
 		return fmt.Errorf("service: drain deadline %v exceeded; in-flight jobs were cancelled", s.cfg.DrainTimeout)
 	}

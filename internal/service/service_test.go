@@ -481,8 +481,9 @@ func TestCatalogues(t *testing.T) {
 }
 
 // TestTracedSimulateJob checks per-job trace capture: a simulate request
-// with trace set returns the overlap report and a loadable Chrome trace in
-// its result document, keyed separately from the untraced computation.
+// with trace set returns the overlap report (with the imbalance section)
+// and a trace_url in its slim result document, keyed separately from the
+// untraced computation; the Chrome trace itself lives behind trace_url.
 func TestTracedSimulateJob(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
 	traced := `{"type":"simulate","simulate":{"kind":"hybrid-overlap","n":16,"steps":3,"tasks":2,"threads":2,"thickness":2,"trace":true}}`
@@ -490,8 +491,8 @@ func TestTracedSimulateJob(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %v", resp.Status)
 	}
-	if !strings.HasPrefix(v.CacheKey, "simt-") {
-		t.Fatalf("traced cache key %q lacks the simt- prefix", v.CacheKey)
+	if !strings.HasPrefix(v.CacheKey, "simt2-") {
+		t.Fatalf("traced cache key %q lacks the simt2- prefix", v.CacheKey)
 	}
 	waitState(t, ts, v.ID, StateDone)
 
@@ -510,16 +511,39 @@ func TestTracedSimulateJob(t *testing.T) {
 	if f := res.Overlap.Pair(obs.PairMPICompute).Fraction; f <= 0 {
 		t.Fatalf("hybrid-overlap mpi/compute fraction = %v, want > 0", f)
 	}
-	var trace struct {
-		TraceEvents []struct {
-			Ph string `json:"ph"`
-		} `json:"traceEvents"`
+	if im := res.Overlap.Imbalance; im == nil || len(im.Ranks) != 2 {
+		t.Fatalf("overlap report lacks a two-rank imbalance section: %+v", im)
 	}
-	if err := json.Unmarshal(res.ChromeTrace, &trace); err != nil {
-		t.Fatalf("chrome trace does not unmarshal: %v", err)
+	if want := "/v1/jobs/" + v.ID + "/trace"; res.TraceURL != want {
+		t.Fatalf("trace_url = %q, want %q", res.TraceURL, want)
 	}
-	if len(trace.TraceEvents) == 0 {
-		t.Fatal("chrome trace has no events")
+
+	// The raw result document must no longer embed the trace blob...
+	raw, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBody, _ := io.ReadAll(raw.Body)
+	raw.Body.Close()
+	if strings.Contains(string(rawBody), `"chrome_trace"`) {
+		t.Fatal("result document still embeds chrome_trace")
+	}
+	// ...unless the compatibility param asks for the legacy shape.
+	compat, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result?embed_trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer compat.Body.Close()
+	var legacy struct {
+		ChromeTrace struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		} `json:"chrome_trace"`
+	}
+	if err := json.NewDecoder(compat.Body).Decode(&legacy); err != nil {
+		t.Fatalf("embed_trace document does not decode: %v", err)
+	}
+	if len(legacy.ChromeTrace.TraceEvents) == 0 {
+		t.Fatal("embed_trace=1 returned no inline trace events")
 	}
 
 	// The untraced flavor of the same computation keys separately and
@@ -542,8 +566,17 @@ func TestTracedSimulateJob(t *testing.T) {
 	if err := json.NewDecoder(rr2.Body).Decode(&plain); err != nil {
 		t.Fatal(err)
 	}
-	if plain.Overlap != nil || len(plain.ChromeTrace) != 0 {
+	if plain.Overlap != nil || plain.TraceURL != "" {
 		t.Fatal("untraced result carries trace payload")
+	}
+	// And its trace endpoint explains itself with 404.
+	tr, err := http.Get(ts.URL + "/v1/jobs/" + v2.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced trace endpoint: want 404, got %v", tr.Status)
 	}
 }
 

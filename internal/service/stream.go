@@ -1,0 +1,89 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// handleStream is the live telemetry feed: a Server-Sent Events stream that
+// interleaves job lifecycle events (event: job) with periodic rolling-stats
+// snapshots (event: stats). The cadence defaults to Config.StreamInterval
+// and can be overridden per request with ?interval= (a Go duration,
+// clamped to at least 100ms). The stream ends when the client disconnects
+// or the server drains — SSE clients reconnect by default, and on a
+// drained instance the reconnect fails fast against the closed listener.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: "streaming unsupported"})
+		return
+	}
+	interval := s.cfg.StreamInterval
+	if q := r.URL.Query().Get("interval"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad interval: " + err.Error()})
+			return
+		}
+		interval = d
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+
+	events, cancel := s.hub.Subscribe(64)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeStats := func() bool {
+		data, err := json.Marshal(s.StatsSnapshot())
+		if err != nil {
+			return false
+		}
+		return writeSSE(w, "stats", data)
+	}
+	if !writeStats() {
+		return
+	}
+	fl.Flush()
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return // hub closed: server draining
+			}
+			if !writeSSE(w, ev.Name, ev.Data) {
+				return
+			}
+			fl.Flush()
+		case <-tick.C:
+			if !writeStats() {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent Event frame; data must be a single line
+// (JSON documents without indentation are).
+func writeSSE(w http.ResponseWriter, name string, data []byte) bool {
+	if _, err := w.Write([]byte("event: " + name + "\ndata: ")); err != nil {
+		return false
+	}
+	if _, err := w.Write(data); err != nil {
+		return false
+	}
+	_, err := w.Write([]byte("\n\n"))
+	return err == nil
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// readSSE consumes the stream until it has seen every wanted event name (or
+// the deadline passes), then reports which were seen.
+func readSSE(t *testing.T, resp *http.Response, want []string, deadline time.Duration) map[string]int {
+	t.Helper()
+	seen := map[string]int{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if name, ok := strings.CutPrefix(line, "event: "); ok {
+				seen[name]++
+			}
+			all := true
+			for _, w := range want {
+				if seen[w] == 0 {
+					all = false
+				}
+			}
+			if all {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(deadline):
+	}
+	resp.Body.Close() // unblocks the scanner goroutine if still reading
+	<-done
+	return seen
+}
+
+// TestStreamDeliversJobAndStats checks the SSE contract: a subscriber sees
+// periodic stats events and the lifecycle events of jobs submitted while
+// connected. Run with -race (ci.sh does), this also exercises the
+// hub/handler paths under concurrent submits.
+func TestStreamDeliversJobAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCap: 8})
+
+	resp, err := http.Get(ts.URL + "/v1/stream?interval=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+
+	// Concurrent submits while the subscriber is attached.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, v := postJob(t, ts, predictBody)
+			r.Body.Close()
+			if v.ID != "" {
+				waitState(t, ts, v.ID, StateDone)
+			}
+		}()
+	}
+	seen := readSSE(t, resp, []string{"stats", "job"}, 15*time.Second)
+	wg.Wait()
+	if seen["stats"] == 0 {
+		t.Fatalf("no stats events seen: %v", seen)
+	}
+	if seen["job"] == 0 {
+		t.Fatalf("no job events seen: %v", seen)
+	}
+}
+
+// TestStreamBadInterval checks the ?interval= validation path.
+func TestStreamBadInterval(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/stream?interval=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad interval: want 400, got %v", resp.Status)
+	}
+}
+
+// TestStreamNoGoroutineLeak is the race-soundness satellite: subscribers
+// that disconnect mid-stream, plus a drain that closes the hub, must leave
+// no handler or hub goroutines behind. Goroutine counts are compared
+// before/after with polling, since handler teardown is asynchronous.
+func TestStreamNoGoroutineLeak(t *testing.T) {
+	s := New(Config{Workers: 2, QueueCap: 8, DrainTimeout: 10 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+
+	before := runtime.NumGoroutine()
+
+	// A batch of subscribers; every one disconnects abruptly.
+	var resps []*http.Response
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(ts.URL + "/v1/stream?interval=100ms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps = append(resps, resp)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, v := postJob(t, ts, predictBody)
+			r.Body.Close()
+			if v.ID != "" {
+				waitState(t, ts, v.ID, StateDone)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, resp := range resps {
+		resp.Body.Close() // client walks away; handler must notice and return
+	}
+
+	// One more subscriber left attached: the drain must close the hub and
+	// end its stream too.
+	last, err := http.Get(ts.URL + "/v1/stream?interval=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	buf := make([]byte, 4096)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := last.Body.Read(buf); err != nil {
+			break // EOF: the handler returned after the hub closed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream did not end after drain")
+		}
+	}
+	last.Body.Close()
+
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	// Allow teardown to settle; fail only if goroutines never return to
+	// (near) the baseline.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// Telemetry aggregates the service's rolling time-series: queue behavior,
+// per-type execution latency, overlap efficiency of traced runs, and grid
+// throughput, all over the last Config.StatsWindow seconds. It backs
+// GET /v1/stats and the SSE stream; unlike Metrics (cumulative counters for
+// Prometheus scraping), everything here ages out as the window rolls.
+type Telemetry struct {
+	window time.Duration
+
+	depth     *telemetry.Window            // queue depth sampled at submit/claim
+	queueWait *telemetry.Window            // seconds from submit to worker claim
+	exec      map[string]*telemetry.Window // per-type execution seconds
+	frac      *telemetry.Window            // per-job hidden-communication fraction
+	comm      *telemetry.Window            // per-job communication seconds
+	hidden    *telemetry.Window            // per-job overlapped seconds
+	points    *telemetry.Window            // per-job grid-point updates
+}
+
+// NewTelemetry sizes every window to span, split into 60 buckets (so a
+// 60-second window rolls in one-second steps).
+func NewTelemetry(span time.Duration, queueCap int) *Telemetry {
+	bucket := span / 60
+	dur := telemetry.DurationBounds()
+	t := &Telemetry{
+		window:    span,
+		depth:     telemetry.NewWindow(span, bucket, telemetry.LinearBounds(float64(queueCap), 16)),
+		queueWait: telemetry.NewWindow(span, bucket, dur),
+		exec:      map[string]*telemetry.Window{},
+		frac:      telemetry.NewWindow(span, bucket, telemetry.LinearBounds(1, 20)),
+		comm:      telemetry.NewWindow(span, bucket, nil),
+		hidden:    telemetry.NewWindow(span, bucket, nil),
+		points:    telemetry.NewWindow(span, bucket, nil),
+	}
+	for _, typ := range Types() {
+		t.exec[typ] = telemetry.NewWindow(span, bucket, dur)
+	}
+	return t
+}
+
+// RecordDepth samples the queue depth (called on submit and claim, the two
+// moments it changes).
+func (t *Telemetry) RecordDepth(now time.Time, depth int) {
+	if t == nil {
+		return
+	}
+	t.depth.Observe(now, float64(depth))
+}
+
+// RecordQueueWait records the submit→claim latency of one job.
+func (t *Telemetry) RecordQueueWait(now time.Time, wait time.Duration) {
+	if t == nil {
+		return
+	}
+	t.queueWait.Observe(now, wait.Seconds())
+}
+
+// RecordExec records one job's execution latency under its type.
+func (t *Telemetry) RecordExec(now time.Time, typ string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.exec[typ].Observe(now, d.Seconds())
+}
+
+// RecordOverlap folds one traced job's overlap report into the window:
+// total communication seconds, total hidden seconds, and the job's hidden
+// fraction. Sums over the window therefore agree exactly with the per-job
+// post-hoc reports they came from.
+func (t *Telemetry) RecordOverlap(now time.Time, rep *obs.Report) {
+	if t == nil || rep == nil {
+		return
+	}
+	var comm, hidden float64
+	for _, p := range rep.Total {
+		comm += p.CommSec
+		hidden += p.OverlapSec
+	}
+	t.comm.Observe(now, comm)
+	t.hidden.Observe(now, hidden)
+	if comm > 0 {
+		t.frac.Observe(now, hidden/comm)
+	}
+}
+
+// RecordPoints records one completed simulate job's grid-point updates
+// (n³ × steps), the service-level analog of the paper's per-run GF metric.
+func (t *Telemetry) RecordPoints(now time.Time, points float64) {
+	if t == nil {
+		return
+	}
+	t.points.Observe(now, points)
+}
+
+// OverlapWindow is the rolling view of overlap efficiency across the traced
+// jobs that finished inside the window.
+type OverlapWindow struct {
+	// Jobs is how many traced jobs contributed.
+	Jobs uint64 `json:"jobs"`
+	// CommSec and HiddenSec are sums over those jobs' reports.
+	CommSec   float64 `json:"comm_sec"`
+	HiddenSec float64 `json:"hidden_sec"`
+	// Fraction is HiddenSec/CommSec — the fleet-level hidden share.
+	Fraction float64 `json:"fraction"`
+	// PerJob is the distribution of per-job hidden fractions.
+	PerJob telemetry.Stats `json:"per_job"`
+}
+
+// TelemetryStats is the GET /v1/stats document: live gauges plus the
+// rolling windows.
+type TelemetryStats struct {
+	Now        time.Time                  `json:"now"`
+	WindowSec  float64                    `json:"window_sec"`
+	Queue      QueueGauges                `json:"queue"`
+	Workers    WorkerGauges               `json:"workers"`
+	QueueDepth telemetry.Stats            `json:"queue_depth"`
+	QueueWait  telemetry.Stats            `json:"queue_wait"`
+	Exec       map[string]telemetry.Stats `json:"exec"`
+	Overlap    OverlapWindow              `json:"overlap"`
+	Points     telemetry.Stats            `json:"points"`
+	// PointsPerSec is window throughput: grid-point updates per second.
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+// Stats snapshots every window at now.
+func (t *Telemetry) Stats(now time.Time, q QueueGauges, w WorkerGauges) TelemetryStats {
+	s := TelemetryStats{
+		Now: now, Queue: q, Workers: w,
+		Exec: map[string]telemetry.Stats{},
+	}
+	if t == nil {
+		return s
+	}
+	s.WindowSec = t.window.Seconds()
+	s.QueueDepth = t.depth.Stats(now)
+	s.QueueWait = t.queueWait.Stats(now)
+	for typ, w := range t.exec {
+		s.Exec[typ] = w.Stats(now)
+	}
+	commStats := t.comm.Stats(now)
+	hiddenStats := t.hidden.Stats(now)
+	s.Overlap = OverlapWindow{
+		Jobs:      commStats.Count,
+		CommSec:   commStats.Sum,
+		HiddenSec: hiddenStats.Sum,
+		PerJob:    t.frac.Stats(now),
+	}
+	if s.Overlap.CommSec > 0 {
+		s.Overlap.Fraction = s.Overlap.HiddenSec / s.Overlap.CommSec
+	}
+	s.Points = t.points.Stats(now)
+	s.PointsPerSec = s.Points.SumPerSec
+	return s
+}

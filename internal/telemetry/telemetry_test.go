@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// base is an arbitrary fixed instant so tests are deterministic.
+var base = time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+func TestWindowCountsAndRates(t *testing.T) {
+	w := NewWindow(10*time.Second, time.Second, nil)
+	for i := 0; i < 5; i++ {
+		w.Observe(base.Add(time.Duration(i)*time.Second), 2.0)
+	}
+	s := w.Stats(base.Add(4 * time.Second))
+	if s.Count != 5 || s.Sum != 10 {
+		t.Fatalf("count=%d sum=%g, want 5/10", s.Count, s.Sum)
+	}
+	if s.Mean != 2 || s.Max != 2 {
+		t.Fatalf("mean=%g max=%g, want 2/2", s.Mean, s.Max)
+	}
+	if s.WindowSec != 10 {
+		t.Fatalf("window=%g, want 10", s.WindowSec)
+	}
+	if got := s.PerSec; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("per_sec=%g, want 0.5", got)
+	}
+	if got := s.SumPerSec; math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("sum_per_sec=%g, want 1.0", got)
+	}
+}
+
+func TestWindowRollOff(t *testing.T) {
+	w := NewWindow(4*time.Second, time.Second, nil)
+	w.Observe(base, 1)
+	w.Observe(base.Add(time.Second), 1)
+	// Both observations inside the window.
+	if s := w.Stats(base.Add(2 * time.Second)); s.Count != 2 {
+		t.Fatalf("count=%d, want 2", s.Count)
+	}
+	// Advance so the first observation's bucket has aged out.
+	if s := w.Stats(base.Add(4 * time.Second)); s.Count != 1 {
+		t.Fatalf("after roll-off count=%d, want 1", s.Count)
+	}
+	// Far future: everything aged out, even without new writes.
+	if s := w.Stats(base.Add(time.Hour)); s.Count != 0 {
+		t.Fatalf("stale count=%d, want 0", s.Count)
+	}
+	// New write reuses a rotated frame; old content must not leak in.
+	w.Observe(base.Add(8*time.Second), 7)
+	s := w.Stats(base.Add(8 * time.Second))
+	if s.Count != 1 || s.Sum != 7 {
+		t.Fatalf("reused frame count=%d sum=%g, want 1/7", s.Count, s.Sum)
+	}
+}
+
+func TestWindowQuantiles(t *testing.T) {
+	// Uniform values 1..100 with linear buckets: quantiles should land
+	// near their exact ranks (within one bucket width).
+	w := NewWindow(10*time.Second, time.Second, LinearBounds(100, 20))
+	for i := 1; i <= 100; i++ {
+		w.Observe(base, float64(i))
+	}
+	s := w.Stats(base)
+	if math.Abs(s.P50-50) > 5 {
+		t.Fatalf("p50=%g, want ~50", s.P50)
+	}
+	if math.Abs(s.P95-95) > 5 {
+		t.Fatalf("p95=%g, want ~95", s.P95)
+	}
+	if math.Abs(s.P99-99) > 5 {
+		t.Fatalf("p99=%g, want ~99", s.P99)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not monotone: %g %g %g", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestWindowQuantileOverflowBucket(t *testing.T) {
+	// Values beyond the last bound land in the overflow bucket, whose
+	// interpolation is capped by the observed max.
+	w := NewWindow(10*time.Second, time.Second, LinearBounds(1, 4))
+	for i := 0; i < 10; i++ {
+		w.Observe(base, 50)
+	}
+	s := w.Stats(base)
+	if s.P99 > 50 || s.P99 < 1 {
+		t.Fatalf("p99=%g, want within (1, 50]", s.P99)
+	}
+}
+
+func TestWindowNilSafe(t *testing.T) {
+	var w *Window
+	w.Observe(base, 1) // must not panic
+	if s := w.Stats(base); s.Count != 0 || s.WindowSec != 0 {
+		t.Fatalf("nil window stats = %+v, want zero", s)
+	}
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	d := DurationBounds()
+	if !sort.Float64sAreSorted(d) {
+		t.Fatal("DurationBounds not sorted")
+	}
+	if d[0] != 1e-5 || d[len(d)-1] < 100 {
+		t.Fatalf("DurationBounds range [%g, %g] unexpected", d[0], d[len(d)-1])
+	}
+	l := LinearBounds(1, 4)
+	want := []float64{0.25, 0.5, 0.75, 1}
+	for i, b := range l {
+		if math.Abs(b-want[i]) > 1e-12 {
+			t.Fatalf("LinearBounds[%d]=%g, want %g", i, b, want[i])
+		}
+	}
+}
+
+func TestHubPublishSubscribe(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe(4)
+	defer cancel()
+	h.Publish(Event{Name: "job", Data: []byte(`{"id":"job-000001"}`)})
+	ev := <-ch
+	if ev.Name != "job" {
+		t.Fatalf("event name = %q, want job", ev.Name)
+	}
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", h.Subscribers())
+	}
+	cancel()
+	cancel() // idempotent
+	if h.Subscribers() != 0 {
+		t.Fatalf("subscribers after cancel = %d, want 0", h.Subscribers())
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+}
+
+func TestHubDropsWhenFull(t *testing.T) {
+	h := NewHub()
+	_, cancel := h.Subscribe(1)
+	defer cancel()
+	h.Publish(Event{Name: "a"})
+	h.Publish(Event{Name: "b"}) // buffer full: dropped, not blocked
+	if h.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", h.Dropped())
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe(1)
+	h.Close()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after hub Close")
+	}
+	cancel() // must not panic after Close
+	// Subscribing to a closed hub yields an already-closed channel.
+	ch2, cancel2 := h.Subscribe(1)
+	defer cancel2()
+	if _, ok := <-ch2; ok {
+		t.Fatal("subscribe after Close returned open channel")
+	}
+	h.Close() // idempotent
+}
+
+func TestHubNilSafe(t *testing.T) {
+	var h *Hub
+	h.Publish(Event{Name: "x"})
+	h.Close()
+	if h.Subscribers() != 0 || h.Dropped() != 0 {
+		t.Fatal("nil hub counters not zero")
+	}
+	ch, cancel := h.Subscribe(1)
+	defer cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("nil hub subscribe returned open channel")
+	}
+}
