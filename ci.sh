@@ -12,6 +12,22 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+
+# advectlint gate: the project-invariant static analyzer suite
+# (internal/lint + cmd/advectlint) must report nothing. Findings print as
+# file:line:col: [analyzer] message; audited exceptions need an
+# "//advect:nolint <analyzer> <reason>" directive.
+go build -o "${TMPDIR:-/tmp}/advectlint" ./cmd/advectlint
+"${TMPDIR:-/tmp}/advectlint" ./...
+
+# Self-check: the analyzer test fixtures live under internal/lint/testdata
+# and must stay invisible to the module build (the go tool skips testdata
+# by convention; renaming the directory would silently compile them in).
+if go list ./... | grep -q testdata; then
+    echo "lint fixtures leaked into the module build" >&2
+    exit 1
+fi
+
 go build ./...
 go test -race ./...
 

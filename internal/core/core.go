@@ -286,6 +286,7 @@ type Options struct {
 // Context returns the run's cancellation context, never nil.
 func (o Options) Context() context.Context {
 	if o.Ctx == nil {
+		//advect:nolint ctxflow nil Ctx documents "run to completion"; Background is that default, not a severed caller signal
 		return context.Background()
 	}
 	return o.Ctx

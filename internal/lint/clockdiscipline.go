@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockDiscipline builds the analyzer keeping the wall clock and the
+// simulator's virtual clock apart, the separation the paper's overlap
+// accounting depends on: reading time.Now inside simulated-device code
+// would stamp virtual events with wall time and silently corrupt every
+// overlap report.
+//
+// simPkgs lists package-path suffixes (e.g. "internal/gpusim") where wall
+// clock reads are banned outright. clockTypes lists type suffixes (e.g.
+// "internal/vtime.Time") whose appearance in a function's parameters or
+// receiver marks the whole function as virtual-clocked, banning wall
+// reads inside it wherever it lives.
+func ClockDiscipline(simPkgs, clockTypes []string) *Analyzer {
+	a := &Analyzer{
+		Name: "clockdiscipline",
+		Doc:  "no wall-clock reads (time.Now/Since/Until) in virtual-time code",
+	}
+	a.Run = func(pass *Pass) {
+		simPkg := false
+		for _, s := range simPkgs {
+			if pathMatches(pass.Pkg.Path, s) {
+				simPkg = true
+				break
+			}
+		}
+		flagCalls := func(body *ast.BlockStmt, where string) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(pass, call)
+				if isFuncNamed(fn, "time", "Now", "Since", "Until") {
+					pass.Reportf(call.Pos(), "time.%s in %s: virtual-time code must be timed on the simulator clock, not the wall clock", fn.Name(), where)
+				}
+				return true
+			})
+		}
+		for _, fd := range funcDecls(pass.Pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			switch {
+			case simPkg:
+				flagCalls(fd.Body, "a simulated-time package")
+			case funcTakesClock(pass, fd, clockTypes):
+				flagCalls(fd.Body, "a function that takes the virtual clock")
+			}
+		}
+	}
+	return a
+}
+
+// funcTakesClock reports whether any parameter or the receiver of fd has
+// one of the virtual-clock types.
+func funcTakesClock(pass *Pass, fd *ast.FuncDecl, clockTypes []string) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			tv, ok := pass.Pkg.Info.Types[f.Type]
+			if !ok {
+				continue
+			}
+			t := tv.Type
+			if sl, isSlice := t.(*types.Slice); isSlice {
+				t = sl.Elem() // variadic or slice-of-clock params count too
+			}
+			if typeSuffixMatches(t, clockTypes) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Type.Params) || check(fd.Recv)
+}

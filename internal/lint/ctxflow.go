@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow builds the analyzer enforcing context threading: cancellation
+// reaches a running simulation only if every layer hands its
+// context.Context down, so a context parameter must actually flow to the
+// callees that accept one, and fresh root contexts
+// (context.Background/TODO) may be minted only at the program edge —
+// package main, cmd/ trees, and tests — never in library code, where a
+// root context severs the caller's cancellation signal.
+func CtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "thread context.Context through; no context.Background/TODO outside cmd/, tests, and main",
+	}
+	a.Run = func(pass *Pass) {
+		atEdge := pass.Pkg.Types.Name() == "main" || hasPathSegment(pass.Pkg.Path, "cmd")
+		for _, fd := range funcDecls(pass.Pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fd)
+			hasCtx := len(ctxParams) > 0
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(pass, call)
+				if !isFuncNamed(fn, "context", "Background", "TODO") {
+					return true
+				}
+				switch {
+				case hasCtx:
+					pass.Reportf(call.Pos(), "%s receives a context but mints context.%s: pass the parameter down instead of severing cancellation", fd.Name.Name, fn.Name())
+				case !atEdge:
+					pass.Reportf(call.Pos(), "context.%s outside cmd/, tests, and main: accept a context.Context and thread it through", fn.Name())
+				}
+				return true
+			})
+
+			// A named context parameter that is never used, in a body
+			// that calls at least one context-accepting callee, is a
+			// broken link in the cancellation chain.
+			for _, obj := range ctxParams {
+				if obj.Name() == "" || obj.Name() == "_" {
+					continue
+				}
+				if usesObject(pass, fd.Body, obj) {
+					continue
+				}
+				if calleeAcceptingContext(pass, fd.Body) {
+					pass.Reportf(fd.Pos(), "%s ignores its context parameter %s but calls functions that accept one: thread it through", fd.Name.Name, obj.Name())
+				}
+			}
+		}
+	}
+	return a
+}
+
+// hasPathSegment reports whether path contains seg as a whole "/" segment.
+func hasPathSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// contextParams returns the type objects of fd's context.Context params.
+func contextParams(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			obj := pass.Pkg.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// usesObject reports whether body mentions obj.
+func usesObject(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleeAcceptingContext reports whether body calls anything whose
+// signature has a context.Context parameter.
+func calleeAcceptingContext(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := callee(pass, call); fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && signatureAcceptsContext(sig) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathMatches reports whether an import path equals suffix or ends with
+// "/"+suffix — so "internal/obs" matches "repro/internal/obs" without
+// hard-coding the module path, and fixture packages can opt in by ending
+// their declared path the same way.
+func pathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// callee resolves a call expression to the *types.Func it invokes (method
+// or function), or nil for builtins, conversions, and indirect calls
+// through function values.
+func callee(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isFuncNamed reports whether fn is package pkgPath's function with one of
+// the given names (receiver-less functions only).
+func isFuncNamed(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName unwraps a method's receiver to (package path, type name);
+// ok is false for receiver-less functions and unnamed receivers.
+func recvTypeName(fn *types.Func) (pkgPath, name string, ok bool) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// signatureAcceptsContext reports whether any parameter of sig is a
+// context.Context.
+func signatureAcceptsContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeSuffixMatches reports whether the fully-qualified name of t (after
+// stripping one pointer) ends in one of the suffixes, each of the form
+// "pkg/path.Type" (suffix-matched on the package path part).
+func typeSuffixMatches(t types.Type, suffixes []string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	for _, s := range suffixes {
+		if full == s || strings.HasSuffix(full, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls yields every function declaration in the package.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

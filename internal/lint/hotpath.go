@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath builds the analyzer enforcing the //advect:hotpath contract:
+// functions on the span-record and Observe paths — the ones the ci.sh
+// allocation benchmarks guard — may not call into fmt, may not allocate
+// maps or slices via composite literals, may not append into anything but
+// their own operand (s = append(s, ...) is amortized in-place growth;
+// any other shape allocates a fresh backing array), and may not defer
+// (a deferred call costs on every invocation, hot or not).
+func Hotpath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc:  "//advect:hotpath functions may not call fmt, allocate map/slice literals, use un-hinted append, or defer",
+	}
+	a.Run = func(pass *Pass) {
+		for _, fd := range funcDecls(pass.Pkg) {
+			if fd.Body == nil || !HasDirective(fd, "hotpath") {
+				continue
+			}
+			checkHotpath(pass, fd)
+		}
+	}
+	return a
+}
+
+func checkHotpath(pass *Pass, fd *ast.FuncDecl) {
+	// Appends of the shape x = append(x, ...) are exempt: collect them
+	// first so the expression walk below can skip exactly those calls.
+	selfAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				selfAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "hot path %s uses defer: the deferred-call overhead is paid on every invocation", name)
+		case *ast.CompositeLit:
+			tv, ok := pass.Pkg.Info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot path %s allocates a map literal", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hot path %s allocates a slice literal", name)
+			}
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, n) {
+				if !selfAppend[n] {
+					pass.Reportf(n.Pos(), "hot path %s uses un-hinted append: only 's = append(s, ...)' reuses its backing array", name)
+				}
+				return true
+			}
+			if fn := callee(pass, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(), "hot path %s calls fmt.%s: formatting allocates and is banned on hot paths", name, fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether the call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,194 @@
+// Package lint is the project's static-analysis framework: a stdlib-only
+// analogue of go/analysis (go/parser + go/ast + go/types + go/importer,
+// no x/tools) that loads every package of the module, runs a registry of
+// analyzers encoding project invariants — nil-safe recorder methods,
+// wall-vs-virtual clock discipline, allocation-free hot paths, context
+// threading, and lock-held blocking — and reports findings as
+// file:line:col: [analyzer] message diagnostics.
+//
+// Two directive comments steer the analyzers:
+//
+//	//advect:hotpath
+//	    on a function declaration marks it allocation-sensitive: the
+//	    hotpath analyzer forbids fmt calls, map/slice literals, appends
+//	    that do not reassign their own operand, and defer inside it.
+//
+//	//advect:nolint <analyzer> <reason>
+//	    on (or immediately above) a flagged line suppresses that one
+//	    analyzer's diagnostic. The reason is mandatory — an escape hatch
+//	    without an audit trail is itself a finding — and naming an
+//	    analyzer the registry does not know is flagged too.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant checker. Run inspects a single
+// type-checked package and reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (package, analyzer) pairing through a Run call.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// nolintDirective is one parsed //advect:nolint comment.
+type nolintDirective struct {
+	pos      token.Pos
+	line     int    // line the directive suppresses findings on (its own)
+	analyzer string // "" when malformed
+	reason   string
+}
+
+const (
+	nolintPrefix  = "//advect:nolint"
+	hotpathMarker = "//advect:hotpath"
+)
+
+// HasDirective reports whether the function declaration carries the given
+// //advect:<name> marker in its doc comment.
+func HasDirective(fd *ast.FuncDecl, name string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	want := "//advect:" + name
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// parseNolints extracts every //advect:nolint directive from the package.
+// A directive suppresses findings on its own source line, so it can sit at
+// the end of the flagged line or on a line of its own immediately above.
+func parseNolints(pkg *Package) []nolintDirective {
+	var out []nolintDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, nolintPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, nolintPrefix)
+				// A reason never embeds "//": anything after one is a
+				// trailing comment (the fixtures' "// want" markers).
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				d := nolintDirective{pos: c.Pos(), line: pkg.Fset.Position(c.Pos()).Line}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+					d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package, applies the nolint
+// directives, validates the directives themselves, and returns the
+// surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		nolints := parseNolints(pkg)
+		// A directive covers its own line and the line below it, so both
+		//   stmt // advect:nolint a r
+		// and
+		//   // advect:nolint a r
+		//   stmt
+		// work. Malformed or unknown directives become findings.
+		suppress := map[[2]interface{}]bool{} // {line, analyzer}
+		for _, d := range nolints {
+			switch {
+			case d.analyzer == "":
+				pkgDiags = append(pkgDiags, Diagnostic{
+					Pos: pkg.Fset.Position(d.pos), Analyzer: "nolint",
+					Message: "malformed //advect:nolint: want \"//advect:nolint <analyzer> <reason>\"",
+				})
+			case !known[d.analyzer] && d.analyzer != "nolint":
+				pkgDiags = append(pkgDiags, Diagnostic{
+					Pos: pkg.Fset.Position(d.pos), Analyzer: "nolint",
+					Message: fmt.Sprintf("//advect:nolint names unknown analyzer %q", d.analyzer),
+				})
+			case d.reason == "":
+				pkgDiags = append(pkgDiags, Diagnostic{
+					Pos: pkg.Fset.Position(d.pos), Analyzer: "nolint",
+					Message: fmt.Sprintf("//advect:nolint %s is missing its reason: every suppression must say why", d.analyzer),
+				})
+			default:
+				suppress[[2]interface{}{d.line, d.analyzer}] = true
+				suppress[[2]interface{}{d.line + 1, d.analyzer}] = true
+			}
+		}
+		for _, d := range pkgDiags {
+			if suppress[[2]interface{}{d.Pos.Line, d.Analyzer}] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module (or a test
+// fixture directory): its syntax, its type information, and its import
+// path, sharing one FileSet with every other package of the load.
+type Package struct {
+	Path  string // import path ("repro/internal/obs")
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// stdImporter builds the stdlib importer the loader delegates to for
+// anything outside the module. The "source" compiler importer type-checks
+// the standard library from GOROOT/src, so the tool needs no prebuilt
+// export data; cgo is disabled so packages like net resolve to their pure
+// Go fallbacks.
+func stdImporter(fset *token.FileSet) types.Importer {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// moduleImporter resolves module-internal paths from the packages already
+// type-checked this load and everything else via the source importer.
+type moduleImporter struct {
+	std  types.Importer
+	done map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.done[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// ModulePath reads the module path from root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mod := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(mod); err == nil {
+				mod = unq
+			}
+			if mod != "" {
+				return mod, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// parseDir parses every non-test .go file of one directory into the fset.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadModule parses and type-checks every non-test package under root (the
+// module root), in dependency order, and returns them sorted by import
+// path. testdata, hidden, and underscore-prefixed directories are skipped,
+// exactly as the go tool skips them.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	// Discover package directories.
+	type rawPkg struct {
+		path    string
+		files   []*ast.File
+		imports []string
+	}
+	raw := map[string]*rawPkg{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := parseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		rp := &rawPkg{path: importPath, files: files}
+		seen := map[string]bool{}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if strings.HasPrefix(p, modPath+"/") && !seen[p] {
+					seen[p] = true
+					rp.imports = append(rp.imports, p)
+				}
+			}
+		}
+		raw[importPath] = rp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topologically order the module-internal dependency graph.
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(p string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		}
+		state[p] = visiting
+		deps := append([]string(nil), raw[p].imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := raw[d]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check in dependency order.
+	imp := &moduleImporter{std: stdImporter(fset), done: map[string]*types.Package{}}
+	var pkgs []*Package
+	for _, p := range order {
+		rp := raw[p]
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p, fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", p, err)
+		}
+		imp.done[p] = tpkg
+		pkgs = append(pkgs, &Package{Path: p, Fset: fset, Files: rp.files, Types: tpkg, Info: info})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path. Fixture packages may import only the standard library; the
+// analyzer tests use this to load testdata packages the module build never
+// sees.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: stdImporter(fset)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

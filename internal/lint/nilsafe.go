@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Nilsafe builds the analyzer enforcing the repo's nil-receiver contract:
+// on the listed types (a map from package-path suffix to type names), a
+// nil pointer is a valid disabled instance, so every exported
+// pointer-receiver method must begin with an
+//
+//	if recv == nil { ... }
+//
+// guard as its first statement. Transitive nil-safety (calling another
+// guarded method) is not enough: the contract is checked method by method
+// so a refactor can never silently drop the guard.
+func Nilsafe(targets map[string][]string) *Analyzer {
+	a := &Analyzer{
+		Name: "nilsafe",
+		Doc:  "exported methods on nil-safe types must begin with a nil-receiver guard",
+	}
+	a.Run = func(pass *Pass) {
+		var typeNames []string
+		for suffix, names := range targets {
+			if pathMatches(pass.Pkg.Path, suffix) {
+				typeNames = append(typeNames, names...)
+			}
+		}
+		if len(typeNames) == 0 {
+			return
+		}
+		sort.Strings(typeNames)
+		isTarget := func(name string) bool {
+			for _, t := range typeNames {
+				if t == name {
+					return true
+				}
+			}
+			return false
+		}
+		for _, fd := range funcDecls(pass.Pkg) {
+			if fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			field := fd.Recv.List[0]
+			star, ok := field.Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receiver: nil cannot reach it
+			}
+			base := star.X
+			if idx, isIdx := base.(*ast.IndexExpr); isIdx {
+				base = idx.X // generic receiver [T any]
+			}
+			id, ok := base.(*ast.Ident)
+			if !ok || !isTarget(id.Name) {
+				continue
+			}
+			if len(field.Names) == 0 || field.Names[0].Name == "_" {
+				pass.Reportf(fd.Pos(), "exported method (*%s).%s has no named receiver, so it cannot nil-guard itself", id.Name, fd.Name.Name)
+				continue
+			}
+			recv := field.Names[0].Name
+			if !beginsWithNilGuard(fd.Body, recv) {
+				pass.Reportf(fd.Pos(), "exported method (*%s).%s must begin with 'if %s == nil' — a nil *%s is a valid disabled %s", id.Name, fd.Name.Name, recv, id.Name, strings.ToLower(id.Name))
+			}
+		}
+	}
+	return a
+}
+
+// beginsWithNilGuard reports whether the body's first statement handles a
+// nil receiver: an "if recv == nil" statement (the nil comparison may be
+// the leftmost operand of an || chain — short-circuit evaluation runs it
+// first), or a return whose sole result is a recv-vs-nil comparison (the
+// "func (r *T) Enabled() bool { return r != nil }" shape).
+func beginsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch s := body.List[0].(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			return false
+		}
+		cond := ast.Unparen(s.Cond)
+		// Take the leftmost operand of any || chain.
+		for {
+			bin, ok := cond.(*ast.BinaryExpr)
+			if !ok || bin.Op != token.LOR {
+				break
+			}
+			cond = ast.Unparen(bin.X)
+		}
+		return isNilComparison(cond, recv, token.EQL)
+	case *ast.ReturnStmt:
+		return len(s.Results) == 1 &&
+			(isNilComparison(ast.Unparen(s.Results[0]), recv, token.EQL) ||
+				isNilComparison(ast.Unparen(s.Results[0]), recv, token.NEQ))
+	}
+	return false
+}
+
+// isNilComparison reports whether e is "recv <op> nil" or "nil <op> recv".
+func isNilComparison(e ast.Expr, recv string, op token.Token) bool {
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok || bin.Op != op {
+		return false
+	}
+	isIdent := func(e ast.Expr, name string) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == name
+	}
+	return (isIdent(bin.X, recv) && isIdent(bin.Y, "nil")) ||
+		(isIdent(bin.X, "nil") && isIdent(bin.Y, recv))
+}

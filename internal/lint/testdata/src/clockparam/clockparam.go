@@ -1,0 +1,51 @@
+// Package clockparam is a lint fixture for clockdiscipline's second rule:
+// the package itself is ordinary wall-clock code, but the test configures
+// "clockparam.Tick" as a virtual-clock type, so any function with a Tick
+// parameter (or receiver) is virtual-clocked and may not read the wall
+// clock.
+package clockparam
+
+import "time"
+
+// Tick is the configured virtual-clock type.
+type Tick float64
+
+// Advance takes the virtual clock and reads the wall clock anyway.
+func Advance(host Tick) Tick {
+	t0 := time.Now() // want `time\.Now in a function that takes the virtual clock`
+	_ = t0
+	return host + 1
+}
+
+// Engine carries virtual time.
+type Engine struct {
+	avail Tick
+}
+
+// Acquire takes the clock via a parameter.
+func (e *Engine) Acquire(ready Tick, dur Tick) Tick {
+	_ = time.Since(time.Time{}) // want `time\.Since in a function that takes the virtual clock`
+	if ready > e.avail {
+		e.avail = ready
+	}
+	e.avail += dur
+	return e.avail
+}
+
+// Variadic clocks count too.
+func Sync(hosts ...Tick) Tick {
+	now := time.Now() // want `time\.Now in a function that takes the virtual clock`
+	_ = now
+	var max Tick
+	for _, h := range hosts {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// Wall has no virtual-clock parameter: wall reads are its business.
+func Wall() time.Time {
+	return time.Now()
+}

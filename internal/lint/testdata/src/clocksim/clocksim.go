@@ -1,0 +1,35 @@
+// Package gpusim is a lint fixture loaded under the import path
+// "fixture/internal/gpusim", so the default clockdiscipline configuration
+// treats the whole package as simulated-time code: every wall-clock read
+// is a finding.
+package gpusim
+
+import "time"
+
+// Tick is the fixture's virtual clock value.
+type Tick float64
+
+// Step advances the simulation; reading the wall clock here would stamp
+// virtual events with host time.
+func Step(t Tick) Tick {
+	now := time.Now() // want `time\.Now in a simulated-time package`
+	_ = now
+	return t + 1
+}
+
+// Elapsed measures with the wrong clock twice over.
+func Elapsed(start time.Time) float64 {
+	d := time.Since(start) // want `time\.Since in a simulated-time package`
+	_ = time.Until(start)  // want `time\.Until in a simulated-time package`
+	return d.Seconds()
+}
+
+// Pure touches no clock: clean.
+func Pure(t Tick) Tick {
+	return t * 2
+}
+
+// Formatting time values without reading the clock is fine.
+func Label(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

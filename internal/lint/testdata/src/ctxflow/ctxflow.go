@@ -1,0 +1,63 @@
+// Package ctxflow is a lint fixture for context threading and for the
+// //advect:nolint escape hatch itself.
+package ctxflow
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// mintsRoot creates a root context in library code.
+func mintsRoot() error {
+	return helper(context.Background()) // want `context\.Background outside cmd/, tests, and main`
+}
+
+// mintsTODO is no better.
+func mintsTODO() error {
+	return helper(context.TODO()) // want `context\.TODO outside cmd/, tests, and main`
+}
+
+// severs has a context and still mints a fresh root for its callee.
+func severs(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return helper(context.Background()) // want `severs receives a context but mints context\.Background`
+}
+
+// ignores never touches its context but calls a context-accepting callee.
+func ignores(ctx context.Context) error { // want `ignores ignores its context parameter ctx`
+	return helper(context.TODO()) // want `ignores receives a context but mints context\.TODO`
+}
+
+// threads is the correct shape.
+func threads(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// leaf takes a context it genuinely does not need yet and calls nothing
+// that accepts one: clean.
+func leaf(ctx context.Context) int {
+	return 1
+}
+
+// audited is suppressed by a well-formed directive on the same line.
+func audited() error {
+	return helper(context.Background()) //advect:nolint ctxflow fixture exercises the audited escape hatch
+}
+
+// auditedAbove is suppressed by a directive on the line above.
+func auditedAbove() error {
+	//advect:nolint ctxflow fixture: a directive on its own line covers the next one
+	return helper(context.Background())
+}
+
+// missingReason forgets the mandatory reason: the directive itself is a
+// finding and suppresses nothing.
+func missingReason() error {
+	return helper(context.Background()) //advect:nolint ctxflow // want `missing its reason` `context\.Background outside`
+}
+
+// unknownAnalyzer names an analyzer the registry does not know.
+func unknownAnalyzer() error {
+	return helper(context.Background()) //advect:nolint nonesuch plausible reason text // want `unknown analyzer "nonesuch"` `context\.Background outside`
+}

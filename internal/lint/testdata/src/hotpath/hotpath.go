@@ -1,0 +1,47 @@
+// Package hotpath is a lint fixture for the //advect:hotpath contract.
+package hotpath
+
+import "fmt"
+
+// Rec mimics an allocation-sensitive recorder.
+type Rec struct {
+	spans  []int
+	labels map[string]int
+}
+
+// Bad trips every hotpath rule at least once.
+//
+//advect:hotpath
+func (r *Rec) Bad(v int) string {
+	defer release()                                          // want `hot path Bad uses defer`
+	m := map[string]int{"v": v}                              // want `hot path Bad allocates a map literal`
+	s := []int{v}                                            // want `hot path Bad allocates a slice literal`
+	grown := append(r.spans, v)                              // want `hot path Bad uses un-hinted append`
+	out := fmt.Sprintf("%d %d", v, len(m)+len(s)+len(grown)) // want `hot path Bad calls fmt\.Sprintf`
+	return out
+}
+
+// Good stays on the allowed side of every rule: self-append, struct
+// literal, no fmt, no defer.
+//
+//advect:hotpath
+func (r *Rec) Good(v int) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, v)
+	p := point{x: v, y: v}
+	r.spans[len(r.spans)-1] = p.x
+}
+
+type point struct{ x, y int }
+
+// Cold has no directive: everything is permitted.
+func (r *Rec) Cold(v int) string {
+	defer release()
+	r.labels = map[string]int{"v": v}
+	other := append([]int(nil), r.spans...)
+	return fmt.Sprint(len(other))
+}
+
+func release() {}

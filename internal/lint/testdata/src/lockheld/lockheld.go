@@ -1,0 +1,142 @@
+// Package lockheld is a lint fixture for the mutex discipline analyzer.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	q    []int
+}
+
+// sendUnderLock parks the goroutine on a full channel with the lock held.
+func (b *box) sendUnderLock(v int) {
+	b.mu.Lock()
+	b.ch <- v // want `channel send while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// recvUnderLock blocks on an empty channel with the lock held.
+func (b *box) recvUnderLock() int {
+	b.mu.Lock()
+	v := <-b.ch // want `channel receive while holding b\.mu`
+	b.mu.Unlock()
+	return v
+}
+
+// blockingSelect has no default clause: it parks under the lock.
+func (b *box) blockingSelect() {
+	b.mu.Lock()
+	select { // want `select without default while holding b\.mu`
+	case v := <-b.ch:
+		b.q = append(b.q, v)
+	}
+	b.mu.Unlock()
+}
+
+// nonBlockingPublish is the sanctioned pattern: a select with a default
+// never blocks, so the send under the lock is fine.
+func (b *box) nonBlockingPublish(v int) {
+	b.mu.Lock()
+	select {
+	case b.ch <- v:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+// leakyReturn exits with the mutex still held on the v > 0 path.
+func (b *box) leakyReturn(v int) bool {
+	b.mu.Lock()
+	if v > 0 {
+		return false // want `return while holding b\.mu`
+	}
+	b.mu.Unlock()
+	return true
+}
+
+// earlyUnlockReturn unlocks on every path by hand: clean.
+func (b *box) earlyUnlockReturn(v int) bool {
+	b.mu.Lock()
+	if v > 0 {
+		b.mu.Unlock()
+		return false
+	}
+	b.q = append(b.q, v)
+	b.mu.Unlock()
+	return true
+}
+
+// deferred pairs Lock with an immediate defer Unlock: clean however many
+// returns follow.
+func (b *box) deferred(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v > 0 {
+		return false
+	}
+	b.q = append(b.q, v)
+	return true
+}
+
+// sleepy holds the lock across a sleep.
+func (b *box) sleepy() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// waits holds the lock across a WaitGroup wait.
+func (b *box) waits(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want `call to sync\.WaitGroup\.Wait while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// drains ranges over a channel — an unbounded block — under the lock.
+func (b *box) drains() {
+	b.mu.Lock()
+	for v := range b.ch { // want `range over channel while holding b\.mu`
+		b.q = append(b.q, v)
+	}
+	b.mu.Unlock()
+}
+
+// condWait is the sync.Cond idiom: Wait releases the mutex while parked,
+// so looping on it under the lock is correct and exempt.
+func (b *box) condWait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.q) == 0 {
+		b.cond.Wait()
+	}
+}
+
+// readLeak returns with the read lock still held on the non-empty path.
+func (b *box) readLeak() int {
+	b.rw.RLock()
+	if len(b.q) > 0 {
+		return b.q[0] // want `return while holding b\.rw \(RLock\)`
+	}
+	b.rw.RUnlock()
+	return 0
+}
+
+// closures run on their own schedule: a send inside a func literal is not
+// a send under the caller's lock, but the literal's own lock use is
+// checked independently.
+func (b *box) closures(v int) func() {
+	b.mu.Lock()
+	f := func() {
+		b.mu.Lock()
+		b.ch <- v // want `channel send while holding b\.mu`
+		b.mu.Unlock()
+	}
+	b.mu.Unlock()
+	return f
+}

@@ -1,0 +1,105 @@
+// Package nilsafe is a lint fixture: Recorder and Window are configured as
+// nil-safe targets, Gauge is not.
+package nilsafe
+
+import "sync"
+
+// Recorder mimics obs.Recorder: a nil *Recorder must be a valid disabled
+// recorder.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []int
+}
+
+// Missing has no guard at all.
+func (r *Recorder) Missing() int { // want `exported method \(\*Recorder\)\.Missing must begin with 'if r == nil'`
+	return len(r.spans)
+}
+
+// LateGuard guards, but not as the first statement.
+func (r *Recorder) LateGuard() int { // want `exported method \(\*Recorder\)\.LateGuard must begin with 'if r == nil'`
+	n := 1
+	if r == nil {
+		return 0
+	}
+	return n + len(r.spans)
+}
+
+// WrongVar guards something that is not the receiver.
+func (r *Recorder) WrongVar(p *int) int { // want `exported method \(\*Recorder\)\.WrongVar must begin with 'if r == nil'`
+	if p == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// NoName cannot guard itself: the receiver is unnamed.
+func (*Recorder) NoName() int { // want `exported method \(\*Recorder\)\.NoName has no named receiver`
+	return 0
+}
+
+// Guarded is the canonical form.
+func (r *Recorder) Guarded() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Swapped writes the comparison nil-first; still a guard.
+func (r *Recorder) Swapped() int {
+	if nil == r {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// OrChain guards as the leftmost operand of an || chain; short-circuit
+// evaluation runs the nil check first.
+func (r *Recorder) OrChain(n int) int {
+	if r == nil || n < 0 {
+		return 0
+	}
+	return n + len(r.spans)
+}
+
+// Enabled-style single-expression bodies count as guards too.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// lower is unexported: callers inside the package guard for it.
+func (r *Recorder) lower() int {
+	return len(r.spans)
+}
+
+// ByValue takes the receiver by value; nil cannot reach it.
+func (r Recorder) ByValue() int {
+	return len(r.spans)
+}
+
+// Window is the second configured target.
+type Window struct {
+	count int
+}
+
+// Observe is missing its guard.
+func (w *Window) Observe(v int) { // want `exported method \(\*Window\)\.Observe must begin with 'if w == nil'`
+	w.count += v
+}
+
+// Count has one.
+func (w *Window) Count() int {
+	if w == nil {
+		return 0
+	}
+	return w.count
+}
+
+// Gauge is not a configured nil-safe type: no guard required.
+type Gauge struct {
+	v int
+}
+
+// Value needs no guard.
+func (g *Gauge) Value() int {
+	return g.v
+}

@@ -32,6 +32,9 @@ type chromeTrace struct {
 // WriteChromeTrace writes the recorded spans as Chrome trace-event JSON.
 // A disabled recorder writes an empty (but valid) trace.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return WriteChromeTrace(w, nil)
+	}
 	return WriteChromeTrace(w, r.Spans())
 }
 

@@ -98,7 +98,12 @@ type ImbalanceReport struct {
 
 // Report builds the overlap-efficiency report from the recorded spans.
 // A disabled recorder yields an empty report.
-func (r *Recorder) Report() Report { return BuildReport(r.Spans()) }
+func (r *Recorder) Report() Report {
+	if r == nil {
+		return BuildReport(nil)
+	}
+	return BuildReport(r.Spans())
+}
 
 // BuildReport computes per-rank and total overlap from a span set.
 func BuildReport(spans []Span) Report {

@@ -95,6 +95,7 @@ type Server struct {
 // New builds and starts a server (workers spin up immediately).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	//advect:nolint ctxflow the server root context outlives any request; drain cancels it explicitly
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,

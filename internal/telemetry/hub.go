@@ -33,11 +33,12 @@ func NewHub() *Hub {
 // by cancel or by Close, whichever comes first; cancel is idempotent. On a
 // nil or closed hub the returned channel is already closed.
 func (h *Hub) Subscribe(buf int) (<-chan Event, func()) {
-	ch := make(chan Event, buf)
 	if h == nil {
+		ch := make(chan Event, buf)
 		close(ch)
 		return ch, func() {}
 	}
+	ch := make(chan Event, buf)
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -63,6 +64,8 @@ func (h *Hub) Subscribe(buf int) (<-chan Event, func()) {
 
 // Publish fans the event out to every subscriber without blocking. Events a
 // slow subscriber cannot accept are counted in Dropped and discarded.
+//
+//advect:hotpath
 func (h *Hub) Publish(ev Event) {
 	if h == nil {
 		return

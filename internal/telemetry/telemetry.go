@@ -67,6 +67,8 @@ func NewWindow(span, bucket time.Duration, bounds []float64) *Window {
 
 // Observe records one value at the given time. On a nil window it is a
 // no-op; on an enabled window it is allocation-free.
+//
+//advect:hotpath
 func (w *Window) Observe(now time.Time, v float64) {
 	if w == nil {
 		return
