@@ -57,3 +57,23 @@ awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
     if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
     if (ns + 0 > max + 0) { printf "disabled-telemetry path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
 }'
+
+# Cluster crash-safety gate: a 3-node cluster must survive losing a node
+# mid-run (every accepted job completes exactly once, fingerprint-deduped)
+# and drain one gracefully (no shed, in-flight work finishes in place),
+# both under the race detector. The full -race suite above already runs
+# these; the explicit pass keeps the gate visible if the suite is filtered.
+go test -race -run 'TestClusterKillNodeMidRun|TestClusterDrainGraceful' -count=1 ./internal/cluster
+
+# Ring hot-path guard: consistent-hash Lookup runs on every gateway
+# submission and must stay allocation-free (test-asserted) and under the
+# ns/op bound recorded in BENCH_cluster.json.
+go test -run TestRingLookupAllocationFree -count=1 ./internal/cluster
+max_ns=$(sed -n 's/.*"lookup_max_ns_per_op": *\([0-9.]*\).*/\1/p' BENCH_cluster.json)
+bench_out=$(go test -run '^$' -bench BenchmarkRingLookup -benchtime 1000000x ./internal/cluster)
+echo "$bench_out"
+ns=$(echo "$bench_out" | awk '/^BenchmarkRingLookup/ {print $3}')
+awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
+    if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
+    if (ns + 0 > max + 0) { printf "ring lookup %s ns/op exceeds bound %s\n", ns, max; exit 1 }
+}'

@@ -59,6 +59,7 @@ func main() {
 		logLevel = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
 		window   = flag.Duration("window", 60*time.Second, "rolling telemetry window for /v1/stats and /v1/stream")
 		stream   = flag.Duration("stream", time.Second, "default stats cadence on /v1/stream (per-request ?interval= overrides)")
+		nodeID   = flag.String("node", "", "cluster node id: prefixes job ids and labels /healthz and /v1/stats (empty = standalone)")
 	)
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 		DrainTimeout: *drain, Limits: lim,
 		Logger: logger, EnablePprof: *pprofOn,
 		StatsWindow: *window, StreamInterval: *stream,
+		NodeID: *nodeID,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,239 @@
+// Command advectgw is the cluster gateway: it fronts N advectd nodes,
+// shards submissions across them by request fingerprint on a
+// consistent-hash ring, and presents the whole cluster behind the same
+// HTTP surface a single node serves.
+//
+// Point it at running nodes (start each advectd with -node so job ids are
+// globally unique):
+//
+//	advectd -addr :8081 -node n1 &
+//	advectd -addr :8082 -node n2 &
+//	advectgw -addr :8070 -nodes n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082
+//
+// or let it spin an in-process development cluster:
+//
+//	advectgw -addr :8070 -local 3
+//
+// Clients talk to the gateway exactly as they would to one advectd —
+// POST /v1/jobs, poll /v1/jobs/{id}, fetch the result — and additionally
+// get the cluster surface: federated GET /v1/stats (per-node snapshots
+// plus a merged view), federated GET /v1/stream (every node's SSE events,
+// node-labelled, plus periodic merged cluster stats), GET /v1/cluster
+// (membership, ring, routing counters), POST /v1/nodes to join a node and
+// POST /v1/nodes/{id}/drain to rebalance one away gracefully.
+//
+// Routing honors the nodes' backpressure contract: a 429 with a short
+// Retry-After is absorbed by briefly retrying the owner shard (keeping its
+// cache affinity), a long one fails over to the next ring node, a draining
+// 503 reroutes immediately, and a dead node's in-flight jobs are
+// re-submitted to the survivors exactly once per fingerprint.
+//
+// SIGINT/SIGTERM stop the gateway; with -local the embedded nodes drain
+// their in-flight jobs before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8070", "listen address")
+		nodes     = flag.String("nodes", "", "comma-separated members as id=url (e.g. n1=http://10.0.0.1:8080,n2=http://10.0.0.2:8080)")
+		local     = flag.Int("local", 0, "development mode: run N in-process advectd nodes instead of -nodes")
+		workers   = flag.Int("workers", 2, "worker pool size per -local node")
+		queue     = flag.Int("queue", 16, "admission queue capacity per -local node")
+		cache     = flag.Int("cache", 256, "result cache entries per -local node")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for -local nodes")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
+		health    = flag.Duration("health", time.Second, "health-check sweep interval")
+		failures  = flag.Int("failures", 2, "consecutive failed probes before a node is down")
+		retryWait = flag.Duration("retrywait", time.Second, "longest Retry-After honored by retrying the owner shard in place")
+		reqTO     = flag.Duration("timeout", 10*time.Second, "outbound per-request timeout to nodes")
+		stream    = flag.Duration("stream", time.Second, "merged cluster-stats cadence on /v1/stream")
+		logJSON   = flag.Bool("logjson", false, "emit logs as JSON instead of logfmt text")
+		logLevel  = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "advectgw: bad -loglevel %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
+
+	var members []cluster.Member
+	var locals []*localNode
+	switch {
+	case *local > 0 && *nodes != "":
+		fmt.Fprintln(os.Stderr, "advectgw: -local and -nodes are mutually exclusive")
+		os.Exit(2)
+	case *local > 0:
+		var err error
+		members, locals, err = startLocalNodes(*local, service.Config{
+			Workers: *workers, QueueCap: *queue, CacheEntries: *cache,
+			DrainTimeout: *drain,
+		}, logger)
+		if err != nil {
+			logger.Error("local cluster failed", "error", err)
+			os.Exit(1)
+		}
+	case *nodes != "":
+		var err error
+		members, err = parseMembers(*nodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "advectgw: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "advectgw: need -nodes or -local (see -help)")
+		os.Exit(2)
+	}
+
+	router := cluster.NewRouter(cluster.Config{
+		Members:        members,
+		VNodes:         *vnodes,
+		HealthInterval: *health,
+		FailThreshold:  *failures,
+		RetryWait:      *retryWait,
+		RequestTimeout: *reqTO,
+		StreamInterval: *stream,
+		Logger:         logger,
+	})
+	runCtx, stopRun := context.WithCancel(context.Background())
+	router.Start(runCtx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "error", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: router.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve failed", "error", err)
+			os.Exit(1)
+		}
+	}()
+	logger.Info("serving", "addr", ln.Addr().String(),
+		"members", len(members), "local", *local > 0, "vnodes", *vnodes)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	logger.Info("signal received, stopping", "signal", sig.String())
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		logger.Error("http shutdown", "error", err)
+	}
+	stopRun()
+	router.Stop()
+	if len(locals) > 0 {
+		logger.Info("draining local nodes", "nodes", len(locals), "deadline", *drain)
+		var wg sync.WaitGroup
+		for _, n := range locals {
+			wg.Add(1)
+			go func(n *localNode) {
+				defer wg.Done()
+				n.stop(shutdownCtx, logger)
+			}(n)
+		}
+		wg.Wait()
+	}
+	fmt.Println("advectgw: stopped cleanly")
+}
+
+// localNode is one embedded advectd instance in -local mode.
+type localNode struct {
+	id  string
+	srv *service.Server
+	hs  *http.Server
+}
+
+func (n *localNode) stop(ctx context.Context, logger *slog.Logger) {
+	if err := n.srv.Shutdown(); err != nil {
+		logger.Error("local node drain failed", "node", n.id, "error", err)
+	}
+	if err := n.hs.Shutdown(ctx); err != nil {
+		logger.Error("local node http shutdown", "node", n.id, "error", err)
+	}
+}
+
+// startLocalNodes boots count in-process advectd nodes on loopback
+// ephemeral ports, each with its own worker pool, queue, and cache —
+// a one-command development cluster.
+func startLocalNodes(count int, cfg service.Config, logger *slog.Logger) ([]cluster.Member, []*localNode, error) {
+	members := make([]cluster.Member, 0, count)
+	locals := make([]*localNode, 0, count)
+	for i := 1; i <= count; i++ {
+		id := fmt.Sprintf("local-%d", i)
+		nodeCfg := cfg
+		nodeCfg.NodeID = id
+		nodeCfg.Logger = logger.With("node", id)
+		srv := service.New(nodeCfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("listen for %s: %w", id, err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("local node serve failed", "node", id, "error", err)
+			}
+		}()
+		url := "http://" + ln.Addr().String()
+		logger.Info("local node up", "node", id, "url", url)
+		members = append(members, cluster.Member{ID: id, URL: url})
+		locals = append(locals, &localNode{id: id, srv: srv, hs: hs})
+	}
+	return members, locals, nil
+}
+
+// parseMembers reads the -nodes flag: comma-separated id=url pairs.
+func parseMembers(s string) ([]cluster.Member, error) {
+	var out []cluster.Member
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad member %q (want id=url)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate member id %q", id)
+		}
+		seen[id] = true
+		out = append(out, cluster.Member{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-nodes named no members")
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/service"
+)
+
+// nodeClient wraps the HTTP conversations the gateway has with a member
+// node. Every method takes a context so cancellation (client disconnect,
+// gateway shutdown) propagates into the outbound request — the cluster
+// analog of the context threading the runners use to stay killable.
+type nodeClient struct {
+	hc      *http.Client // short requests (submit, peek, stats, health)
+	stream  *http.Client // long-lived SSE reads; no overall timeout
+	timeout time.Duration
+}
+
+func newNodeClient(timeout time.Duration) *nodeClient {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &nodeClient{
+		hc:      &http.Client{},
+		stream:  &http.Client{},
+		timeout: timeout,
+	}
+}
+
+// submitResult is one node's answer to a forwarded POST /v1/jobs.
+type submitResult struct {
+	Status     int
+	RetryAfter time.Duration // parsed Retry-After on 429/503; 0 if absent
+	Body       []byte        // the node's response document as sent
+	View       service.View  // decoded body on 200/202
+}
+
+// submit forwards an already-encoded request body to a node.
+func (c *nodeClient) submit(ctx context.Context, baseURL string, body []byte) (*submitResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	res := &submitResult{Status: resp.StatusCode, Body: data}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			res.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(data, &res.View); err != nil {
+			return nil, fmt.Errorf("decode submit response: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// peek asks a node's cache for a key: (doc, true, nil) on a hit,
+// (nil, false, nil) on a clean miss.
+func (c *nodeClient) peek(ctx context.Context, baseURL, key string) (json.RawMessage, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("cache peek: status %d", resp.StatusCode)
+	}
+	doc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return doc, true, nil
+}
+
+// seed replicates a result document into a node's cache.
+func (c *nodeClient) seed(ctx context.Context, baseURL, key string, doc json.RawMessage) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, baseURL+"/v1/cache/"+key, bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("cache seed: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// health probes a node: state is NodeUp or NodeDraining on a parseable
+// answer; an error means the probe failed (connection refused, timeout,
+// garbage) and counts toward the down threshold.
+func (c *nodeClient) health(ctx context.Context, baseURL string) (NodeState, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", fmt.Errorf("decode healthz: %w", err)
+	}
+	switch doc.Status {
+	case "ok":
+		return NodeUp, nil
+	case "draining":
+		return NodeDraining, nil
+	}
+	return "", fmt.Errorf("healthz status %q", doc.Status)
+}
+
+// drain asks a node to begin its graceful drain.
+func (c *nodeClient) drain(ctx context.Context, baseURL string) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/drain", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("drain: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// stats fetches a node's rolling-window telemetry snapshot.
+func (c *nodeClient) stats(ctx context.Context, baseURL string) (service.TelemetryStats, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var doc service.TelemetryStats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/stats", nil)
+	if err != nil {
+		return doc, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return doc, fmt.Errorf("decode stats: %w", err)
+	}
+	return doc, nil
+}
+
+// get proxies a read (status, result, trace, list) and returns the node's
+// status code, content type, and body unchanged.
+func (c *nodeClient) get(ctx context.Context, url string) (int, string, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body, nil
+}
+
+// del proxies a DELETE (job cancel).
+func (c *nodeClient) del(ctx context.Context, url string) (int, string, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body, nil
+}

@@ -1,0 +1,456 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// startNode boots one in-process advectd node with a cluster identity.
+// The caller owns shutdown — register the server with a testCluster (or
+// close it explicitly) so teardown happens after the gateway stops; the
+// gateway holds a long-lived SSE connection to every node, so closing a
+// node server before the router stops blocks forever.
+func startNode(t *testing.T, id string) (Member, *httptest.Server) {
+	t.Helper()
+	// DrainTimeout is generous because -race inflates job runtimes; a test
+	// drain must never hit the cancellation cliff.
+	s := service.New(service.Config{
+		NodeID:         id,
+		StreamInterval: 200 * time.Millisecond,
+		DrainTimeout:   2 * time.Minute,
+	})
+	ts := httptest.NewServer(s.Handler())
+	return Member{ID: id, URL: ts.URL}, ts
+}
+
+type testCluster struct {
+	router *Router
+	gw     *httptest.Server
+	nodes  map[string]*httptest.Server
+}
+
+// startCluster boots n real advectd nodes, a gateway over them, and the
+// gateway's background loops. Teardown runs in dependency order: gateway
+// first, then the router's loops (releasing the SSE connections), then the
+// node servers.
+func startCluster(t *testing.T, cfg Config, ids ...string) *testCluster {
+	t.Helper()
+	tc := &testCluster{nodes: map[string]*httptest.Server{}}
+	for _, id := range ids {
+		m, ts := startNode(t, id)
+		cfg.Members = append(cfg.Members, m)
+		tc.nodes[id] = ts
+	}
+	tc.router = NewRouter(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	tc.router.Start(ctx)
+	tc.gw = httptest.NewServer(tc.router.Handler())
+	t.Cleanup(func() {
+		tc.gw.Close()
+		cancel()
+		tc.router.Stop()
+		for _, ts := range tc.nodes {
+			ts.Close()
+		}
+	})
+	return tc
+}
+
+// killNode severs a node mid-run the way a crash would: client connections
+// (including the gateway's open SSE stream) drop immediately, then the
+// listener closes. A plain Close would wait on the SSE connection forever.
+func (tc *testCluster) killNode(id string) {
+	tc.nodes[id].CloseClientConnections()
+	tc.nodes[id].Close()
+}
+
+// gwView is the gateway's labelled job view as a client decodes it.
+type gwView struct {
+	ID       string        `json:"id"`
+	State    service.State `json:"state"`
+	CacheKey string        `json:"cache_key"`
+	CacheHit bool          `json:"cache_hit"`
+	Error    string        `json:"error"`
+	Node     string        `json:"node"`
+}
+
+func (tc *testCluster) submit(t *testing.T, body string) (int, gwView) {
+	t.Helper()
+	resp, err := http.Post(tc.gw.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v gwView
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, v
+}
+
+func (tc *testCluster) waitDone(t *testing.T, id string) gwView {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(tc.gw.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v gwView
+		decodeErr := json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && decodeErr == nil {
+			if v.State == service.StateDone {
+				return v
+			}
+			if v.State.Terminal() {
+				t.Fatalf("job %s landed in %s (error %q), want done", id, v.State, v.Error)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not done before deadline (last status %d, state %s)", id, resp.StatusCode, v.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (tc *testCluster) clusterStats(t *testing.T) ClusterStats {
+	t.Helper()
+	resp, err := http.Get(tc.gw.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ClusterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode cluster stats: %v", err)
+	}
+	return st
+}
+
+func nodeJobCount(t *testing.T, ts *httptest.Server) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Jobs []service.View `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode node job list: %v", err)
+	}
+	return len(doc.Jobs)
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// fastBody is a distinct cheap problem per index (milliseconds).
+func fastBody(i int) string {
+	return fmt.Sprintf(`{"type":"simulate","simulate":{"kind":"bulk","n":16,"steps":%d,"tasks":2}}`, 2+i)
+}
+
+// slowBody is a distinct problem per index that runs long enough (a couple
+// hundred milliseconds, several seconds under -race) to be in flight when
+// a test kills or drains its node, without making the batch take minutes
+// under the race detector. The failover assertions stay valid even if a
+// victim-side job finishes just before the kill: the gateway observed no
+// terminal poll, so the fingerprint is rerouted and re-executed on a
+// survivor either way.
+func slowBody(i int) string {
+	return fmt.Sprintf(`{"type":"simulate","simulate":{"kind":"bulk","n":48,"steps":%d,"tasks":2}}`, 100+i)
+}
+
+// TestClusterRoutesToOwner: the gateway forwards each submission to the
+// shard the hash ring names for its fingerprint, job ids carry the node
+// prefix, and status/result stay reachable through the gateway.
+func TestClusterRoutesToOwner(t *testing.T) {
+	tc := startCluster(t, Config{}, "n1", "n2", "n3")
+	for i := 0; i < 5; i++ {
+		status, v := tc.submit(t, fastBody(i))
+		if status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("submit %d: status %d", i, status)
+		}
+		if owner := tc.router.Ring().Lookup(v.CacheKey); v.Node != owner {
+			t.Errorf("submit %d landed on %s, ring owner is %s", i, v.Node, owner)
+		}
+		if !strings.HasPrefix(v.ID, v.Node+"-job-") {
+			t.Errorf("submit %d: id %q lacks the %q node prefix", i, v.ID, v.Node)
+		}
+		done := tc.waitDone(t, v.ID)
+		if done.Node != v.Node {
+			t.Errorf("job %s moved from %s to %s without a failure", v.ID, v.Node, done.Node)
+		}
+		resp, err := http.Get(tc.gw.URL + "/v1/jobs/" + v.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("result for %s: status %d", v.ID, resp.StatusCode)
+		}
+	}
+}
+
+// TestClusterCacheAffinityAcrossJoin: results computed before a node joins
+// stay cache hits afterwards — keys the ring re-homes to the newcomer are
+// served by peeking the sibling that still holds them and seeding the new
+// owner, not by re-executing.
+func TestClusterCacheAffinityAcrossJoin(t *testing.T) {
+	tc := startCluster(t, Config{}, "n1", "n2")
+	const keys = 12
+	bodies := make([]string, keys)
+	fps := make([]string, keys)
+	for i := range bodies {
+		bodies[i] = fastBody(i)
+		status, v := tc.submit(t, bodies[i])
+		if status != http.StatusAccepted && status != http.StatusOK {
+			t.Fatalf("submit %d: status %d", i, status)
+		}
+		fps[i] = v.CacheKey
+		tc.waitDone(t, v.ID)
+	}
+	for i := range bodies {
+		status, v := tc.submit(t, bodies[i])
+		if status != http.StatusOK || !v.CacheHit {
+			t.Fatalf("warm resubmit %d: status %d, cache_hit %v (want 200, true)", i, status, v.CacheHit)
+		}
+	}
+
+	before := tc.router.Ring()
+	m3, ts3 := startNode(t, "n3")
+	tc.nodes["n3"] = ts3 // owned by the cluster teardown from here on
+	memberDoc, err := json.Marshal(m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(tc.gw.URL+"/v1/nodes", "application/json", strings.NewReader(string(memberDoc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("join: status %d", resp.StatusCode)
+	}
+	after := tc.router.Ring()
+	if len(after.Nodes()) != 3 {
+		t.Fatalf("ring after join has nodes %v, want 3", after.Nodes())
+	}
+
+	moved := 0
+	for i, fp := range fps {
+		if before.Lookup(fp) == after.Lookup(fp) {
+			continue
+		}
+		if after.Lookup(fp) != "n3" {
+			t.Errorf("key %d moved to %s, minimal remap says only the newcomer gains keys", i, after.Lookup(fp))
+		}
+		moved++
+		status, v := tc.submit(t, bodies[i])
+		if status != http.StatusOK || !v.CacheHit {
+			t.Errorf("re-homed key %d: status %d, cache_hit %v (want a seeded hit on the new owner)", i, status, v.CacheHit)
+		}
+		if v.Node != "n3" {
+			t.Errorf("re-homed key %d answered by %s, want n3", i, v.Node)
+		}
+	}
+	// The ring is deterministic, so this is a constant of the test, not a
+	// flake: with 12 keys and a third node joining, ≈4 keys must move.
+	if moved == 0 {
+		t.Fatalf("no key moved to the joining node; enlarge the key set")
+	}
+	c := tc.router.Counters()
+	if c.PeekHits < uint64(moved) {
+		t.Errorf("PeekHits = %d, want ≥ %d (one per re-homed key)", c.PeekHits, moved)
+	}
+	if c.Seeds < uint64(moved) {
+		t.Errorf("Seeds = %d, want ≥ %d", c.Seeds, moved)
+	}
+}
+
+// startStub boots a fake shard whose submit behavior the test scripts;
+// health answers up and the cache always misses.
+func startStub(t *testing.T, id string, onSubmit func(n int64, w http.ResponseWriter)) (Member, *atomic.Int64) {
+	t.Helper()
+	submits := &atomic.Int64{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		_, _ = w.Write([]byte(`{"status":"ok","node":"` + id + `"}`))
+	})
+	mux.HandleFunc("GET /v1/cache/{key}", func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	})
+	mux.HandleFunc("PUT /v1/cache/{key}", func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, req *http.Request) {
+		onSubmit(submits.Add(1), w)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return Member{ID: id, URL: ts.URL}, submits
+}
+
+func acceptQueued(id string) func(n int64, w http.ResponseWriter) {
+	return func(n int64, w http.ResponseWriter) {
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = fmt.Fprintf(w, `{"id":"%s-job-%06d","state":"queued"}`, id, n)
+	}
+}
+
+func shed(retryAfter string) func(n int64, w http.ResponseWriter) {
+	return func(n int64, w http.ResponseWriter) {
+		w.Header().Set("Retry-After", retryAfter)
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"queue full"}`))
+	}
+}
+
+func stubRequest() service.Request {
+	return service.Request{
+		Type:     service.TypeSimulate,
+		Simulate: &service.SimulateRequest{Kind: "bulk", N: 16, Steps: 3, Tasks: 2},
+	}
+}
+
+// stubOwner orders the two stub ids so the first is the ring owner of the
+// stub request's fingerprint.
+func stubOwner(fp string) (string, string) {
+	ring := NewRing([]string{"s1", "s2"}, 0)
+	if ring.Lookup(fp) == "s1" {
+		return "s1", "s2"
+	}
+	return "s2", "s1"
+}
+
+// TestClusterHonorsBriefRetryAfter: a 429 whose Retry-After fits inside
+// RetryWait is absorbed by retrying the owner in place — the job stays on
+// the shard with cache affinity instead of failing over.
+func TestClusterHonorsBriefRetryAfter(t *testing.T) {
+	req := stubRequest()
+	ownerID, otherID := stubOwner(req.CacheKey())
+	mOwner, ownerSubmits := startStub(t, ownerID, func(n int64, w http.ResponseWriter) {
+		if n == 1 {
+			shed("1")(n, w)
+			return
+		}
+		acceptQueued(ownerID)(n, w)
+	})
+	mOther, otherSubmits := startStub(t, otherID, acceptQueued(otherID))
+	r := NewRouter(Config{Members: []Member{mOwner, mOther}, RetryWait: 2 * time.Second})
+
+	view, nodeID, err := r.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if nodeID != ownerID {
+		t.Errorf("accepted by %s, want the owner %s (brief retry, not failover)", nodeID, ownerID)
+	}
+	if !strings.HasPrefix(view.ID, ownerID+"-job-") {
+		t.Errorf("job id %q not from the owner", view.ID)
+	}
+	if got := ownerSubmits.Load(); got != 2 {
+		t.Errorf("owner saw %d submits, want 2 (shed then retry)", got)
+	}
+	if got := otherSubmits.Load(); got != 0 {
+		t.Errorf("other shard saw %d submits, want 0", got)
+	}
+	c := r.Counters()
+	if c.BriefRetries != 1 || c.Failovers != 0 || c.Submits != 1 {
+		t.Errorf("counters = %+v, want 1 brief retry, 0 failovers, 1 submit", c)
+	}
+}
+
+// TestClusterFailsOverOnLongRetryAfter: a 429 advertising a wait longer
+// than RetryWait means the shard is genuinely backed up — the gateway moves
+// to the next ring node immediately instead of stalling the client.
+func TestClusterFailsOverOnLongRetryAfter(t *testing.T) {
+	req := stubRequest()
+	ownerID, otherID := stubOwner(req.CacheKey())
+	mOwner, ownerSubmits := startStub(t, ownerID, shed("30"))
+	mOther, otherSubmits := startStub(t, otherID, acceptQueued(otherID))
+	r := NewRouter(Config{Members: []Member{mOwner, mOther}, RetryWait: time.Second})
+
+	start := time.Now()
+	_, nodeID, err := r.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if nodeID != otherID {
+		t.Errorf("accepted by %s, want failover to %s", nodeID, otherID)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("failover took %v; a 30s Retry-After must not be slept on", elapsed)
+	}
+	if got := ownerSubmits.Load(); got != 1 {
+		t.Errorf("owner saw %d submits, want exactly 1 (no in-place retry)", got)
+	}
+	if got := otherSubmits.Load(); got != 1 {
+		t.Errorf("other shard saw %d submits, want 1", got)
+	}
+	c := r.Counters()
+	if c.Failovers != 1 || c.BriefRetries != 0 {
+		t.Errorf("counters = %+v, want 1 failover, 0 brief retries", c)
+	}
+}
+
+// TestClusterShedsWhenAllReject: when every shard sheds, the gateway's own
+// 429 carries the longest Retry-After any shard advertised.
+func TestClusterShedsWhenAllReject(t *testing.T) {
+	req := stubRequest()
+	ownerID, otherID := stubOwner(req.CacheKey())
+	mOwner, ownerSubmits := startStub(t, ownerID, shed("30"))
+	mOther, otherSubmits := startStub(t, otherID, shed("7"))
+	r := NewRouter(Config{Members: []Member{mOwner, mOther}, RetryWait: time.Second})
+	gw := httptest.NewServer(r.Handler())
+	t.Cleanup(gw.Close)
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(gw.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Errorf("Retry-After = %q, want the longest shard estimate \"30\"", got)
+	}
+	if ownerSubmits.Load() != 1 || otherSubmits.Load() != 1 {
+		t.Errorf("submits = %d/%d, want exactly one per shard", ownerSubmits.Load(), otherSubmits.Load())
+	}
+	if c := r.Counters(); c.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", c.Shed)
+	}
+}

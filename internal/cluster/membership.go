@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeState is a member's position in the cluster lifecycle.
+type NodeState string
+
+const (
+	// NodeUp members own shard ranges and receive new traffic.
+	NodeUp NodeState = "up"
+	// NodeDraining members have stopped admitting jobs but still serve
+	// polls for their in-flight work; their shard range has already been
+	// rebalanced to the up members. No traffic is lost: accepted jobs
+	// finish where they are while new submissions route elsewhere.
+	NodeDraining NodeState = "draining"
+	// NodeDown members failed health checks; their in-flight jobs are
+	// re-submitted (deduplicated by fingerprint) to the surviving ring.
+	NodeDown NodeState = "down"
+)
+
+// Member identifies one advectd node: a stable id (matching the node's
+// Config.NodeID) and its base URL.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// MemberStatus is a membership snapshot entry.
+type MemberStatus struct {
+	Member
+	State NodeState `json:"state"`
+	// Fails is the current consecutive health-check failure count.
+	Fails int `json:"fails,omitempty"`
+	// LastErr is the most recent health-check error, if any.
+	LastErr string `json:"last_err,omitempty"`
+	// Since is when the member entered its current state.
+	Since time.Time `json:"since"`
+}
+
+// Membership tracks node states and drives the up/draining/down
+// transitions from health-check results. It is pure bookkeeping: the
+// router registers an onChange hook to rebuild the ring and reroute jobs,
+// and that hook runs outside the membership lock so it may do network IO.
+type Membership struct {
+	mu            sync.Mutex
+	members       map[string]*memberState
+	failThreshold int
+}
+
+type memberState struct {
+	Member
+	state   NodeState
+	fails   int
+	lastErr string
+	since   time.Time
+}
+
+// NewMembership starts every member up (optimistically routable; the first
+// health sweep corrects that within one interval). failThreshold is how
+// many consecutive probe failures turn a node down; < 1 means 1.
+func NewMembership(members []Member, failThreshold int, now time.Time) *Membership {
+	if failThreshold < 1 {
+		failThreshold = 1
+	}
+	m := &Membership{
+		members:       make(map[string]*memberState, len(members)),
+		failThreshold: failThreshold,
+	}
+	for _, mem := range members {
+		m.members[mem.ID] = &memberState{Member: mem, state: NodeUp, since: now}
+	}
+	return m
+}
+
+// Add registers a new member in the up state. It reports whether the
+// member was actually added (false if the id is already present — states
+// of existing members are never clobbered by a re-add).
+func (m *Membership) Add(mem Member, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[mem.ID]; ok {
+		return false
+	}
+	m.members[mem.ID] = &memberState{Member: mem, state: NodeUp, since: now}
+	return true
+}
+
+// Snapshot returns every member's status, sorted by id.
+func (m *Membership) Snapshot() []MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemberStatus, 0, len(m.members))
+	for _, ms := range m.members {
+		out = append(out, MemberStatus{
+			Member: ms.Member, State: ms.state,
+			Fails: ms.fails, LastErr: ms.lastErr, Since: ms.since,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns one member's status.
+func (m *Membership) Get(id string) (MemberStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.members[id]
+	if !ok {
+		return MemberStatus{}, false
+	}
+	return MemberStatus{
+		Member: ms.Member, State: ms.state,
+		Fails: ms.fails, LastErr: ms.lastErr, Since: ms.since,
+	}, true
+}
+
+// State returns a member's current state ("" if unknown).
+func (m *Membership) State(id string) NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ms, ok := m.members[id]; ok {
+		return ms.state
+	}
+	return ""
+}
+
+// URL returns a member's base URL ("" if unknown).
+func (m *Membership) URL(id string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ms, ok := m.members[id]; ok {
+		return ms.URL
+	}
+	return ""
+}
+
+// Routable returns the ids of members that may receive new traffic (up).
+func (m *Membership) Routable() []string {
+	return m.withStates(NodeUp)
+}
+
+// Peekable returns the ids of members whose caches are worth probing: up
+// and draining (a draining node still answers reads, and its cache is
+// exactly where a rebalanced key's result lives).
+func (m *Membership) Peekable() []string {
+	return m.withStates(NodeUp, NodeDraining)
+}
+
+func (m *Membership) withStates(states ...NodeState) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for id, ms := range m.members {
+		for _, st := range states {
+			if ms.state == st {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReportHealthy records a successful probe and returns true if the state
+// changed (a down or draining node came back up).
+func (m *Membership) ReportHealthy(id string, now time.Time) bool {
+	return m.transition(id, NodeUp, "", now)
+}
+
+// ReportDraining records a draining probe (healthz 503 {"status":
+// "draining"}) and returns true if the state changed.
+func (m *Membership) ReportDraining(id string, now time.Time) bool {
+	return m.transition(id, NodeDraining, "", now)
+}
+
+// ReportFailure records a failed probe; after failThreshold consecutive
+// failures the member goes down. Returns true when this report is the one
+// that took the node down.
+func (m *Membership) ReportFailure(id string, errMsg string, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.members[id]
+	if !ok {
+		return false
+	}
+	ms.fails++
+	ms.lastErr = errMsg
+	if ms.state != NodeDown && ms.fails >= m.failThreshold {
+		ms.state = NodeDown
+		ms.since = now
+		return true
+	}
+	return false
+}
+
+// transition moves a member to state, resetting the failure counter, and
+// reports whether the state actually changed.
+func (m *Membership) transition(id string, state NodeState, errMsg string, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.members[id]
+	if !ok {
+		return false
+	}
+	ms.fails = 0
+	ms.lastErr = errMsg
+	if ms.state == state {
+		return false
+	}
+	ms.state = state
+	ms.since = now
+	return true
+}

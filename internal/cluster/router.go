@@ -1,0 +1,574 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// Config sizes the gateway. The zero value (plus a member list) selects
+// the defaults.
+type Config struct {
+	// Members are the advectd nodes this gateway fronts. Each node should
+	// run with Config.NodeID = Member.ID so job ids stay globally unique.
+	Members []Member
+	// VNodes is the virtual-node count per member on the hash ring;
+	// 0 selects DefaultVNodes.
+	VNodes int
+	// HealthInterval is the health-check sweep cadence. Default 1s.
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive failed probes turn a node
+	// down. Default 2.
+	FailThreshold int
+	// RetryWait is the largest Retry-After the gateway will honor by
+	// briefly retrying the owner shard in place; a larger advertised wait
+	// fails over to the next ring node instead. Default 1s.
+	RetryWait time.Duration
+	// RequestTimeout bounds each outbound node request (not streams).
+	// Default 10s.
+	RequestTimeout time.Duration
+	// StreamInterval is the cadence of merged cluster-stats events on the
+	// federated SSE stream. Default 1s.
+	StreamInterval time.Duration
+	// Logger receives structured routing events. Default: discard.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.FailThreshold < 1 {
+		c.FailThreshold = 2
+	}
+	if c.RetryWait <= 0 {
+		c.RetryWait = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// GatewayCounters are the gateway's cumulative routing statistics,
+// reported by GET /v1/cluster and the federated stats document.
+type GatewayCounters struct {
+	// Submits counts client submissions accepted somewhere in the cluster.
+	Submits uint64 `json:"submits"`
+	// Failovers counts submissions that left the owner shard for a ring
+	// successor (load shed, drain, or node failure).
+	Failovers uint64 `json:"failovers"`
+	// BriefRetries counts 429s absorbed by honoring a short Retry-After
+	// on the owner instead of failing over.
+	BriefRetries uint64 `json:"brief_retries"`
+	// PeekHits counts sibling-cache probes that found the result.
+	PeekHits uint64 `json:"peek_hits"`
+	// Seeds counts results replicated onto the owner shard after a peek
+	// hit elsewhere.
+	Seeds uint64 `json:"seeds"`
+	// Reroutes counts fingerprints re-submitted after a node death.
+	Reroutes uint64 `json:"reroutes"`
+	// Deduped counts dead-node jobs answered by aliasing them onto an
+	// already in-flight (or just rerouted) job with the same fingerprint
+	// instead of submitting again.
+	Deduped uint64 `json:"deduped"`
+	// Shed counts client submissions rejected cluster-wide (every
+	// routable shard full).
+	Shed uint64 `json:"shed"`
+}
+
+// jobEntry is the gateway's record of one accepted job: where it lives,
+// its routing fingerprint, and the encoded request (kept so the job can be
+// re-submitted if its node dies).
+type jobEntry struct {
+	id       string // node-issued job id (globally unique via NodeID prefix)
+	node     string
+	fp       string
+	body     []byte
+	terminal bool
+	lost     string    // non-empty: node died and the re-submit failed
+	replaced *jobEntry // forwarding pointer after a reroute
+}
+
+// Router is the cluster gateway: it owns the hash ring, the membership
+// table, the gateway job table, and the federated telemetry hub. Construct
+// with NewRouter, start the background loops with Start, expose via
+// Handler, stop with Stop.
+type Router struct {
+	cfg     Config
+	log     *slog.Logger
+	client  *nodeClient
+	members *Membership
+	ring    atomic.Pointer[Ring]
+	hub     *telemetry.Hub
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*jobEntry
+	byFP     map[string]*jobEntry // in-flight job per fingerprint (dedup)
+	counters GatewayCounters
+
+	runCtx  context.Context
+	stopRun context.CancelFunc
+	wg      sync.WaitGroup
+	started atomic.Bool
+}
+
+// NewRouter builds a gateway over the configured members. Call Start to
+// begin health checking and stream federation.
+func NewRouter(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		client:  newNodeClient(cfg.RequestTimeout),
+		members: NewMembership(cfg.Members, cfg.FailThreshold, time.Now()),
+		hub:     telemetry.NewHub(),
+		jobs:    map[string]*jobEntry{},
+		byFP:    map[string]*jobEntry{},
+	}
+	r.rebuildRing()
+	r.mux = r.routes()
+	return r
+}
+
+// Start launches the health-check loop and the per-node stream readers.
+// The loops stop when ctx is cancelled or Stop is called.
+func (r *Router) Start(ctx context.Context) {
+	if r.started.Swap(true) {
+		return
+	}
+	r.runCtx, r.stopRun = context.WithCancel(ctx)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.healthLoop(r.runCtx)
+	}()
+	for _, m := range r.members.Snapshot() {
+		r.wg.Add(1)
+		go func(m MemberStatus) {
+			defer r.wg.Done()
+			r.streamReader(r.runCtx, m.Member)
+		}(m)
+	}
+}
+
+// Stop halts the background loops and closes the federated hub.
+func (r *Router) Stop() {
+	if r.stopRun != nil {
+		r.stopRun()
+	}
+	r.wg.Wait()
+	r.hub.Close()
+}
+
+// Handler returns the gateway HTTP API.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Ring returns the current routing ring (an immutable snapshot).
+func (r *Router) Ring() *Ring { return r.ring.Load() }
+
+// Members returns the membership table.
+func (r *Router) Members() *Membership { return r.members }
+
+// Counters snapshots the gateway routing counters.
+func (r *Router) Counters() GatewayCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters
+}
+
+// rebuildRing derives a fresh ring from the currently routable members and
+// publishes it atomically; Lookup callers never see a partial update.
+func (r *Router) rebuildRing() {
+	r.ring.Store(NewRing(r.members.Routable(), r.cfg.VNodes))
+}
+
+// Errors the routing core reports to the HTTP layer.
+var (
+	// ErrNoNodes means no member is routable (all down or draining).
+	ErrNoNodes = errors.New("cluster: no routable nodes")
+	// errShed wraps a cluster-wide 429 and carries the longest
+	// Retry-After any shard advertised.
+	errShed = errors.New("cluster: every routable shard shed the job")
+)
+
+// shedError is returned when every routable shard rejected the submit.
+type shedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *shedError) Error() string { return errShed.Error() }
+func (e *shedError) Unwrap() error { return errShed }
+
+// badRequest carries a node's 400 response straight back to the client.
+type badRequest struct {
+	Body []byte
+}
+
+func (e *badRequest) Error() string { return "cluster: node rejected request" }
+
+// Submit routes one client submission: consistent-hash owner first, cache
+// affinity peek before execution, Retry-After-honoring brief retry on a
+// shedding owner, then failover around the ring. On success the returned
+// view names the node that accepted the job.
+func (r *Router) Submit(ctx context.Context, req service.Request) (service.View, string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return service.View{}, "", fmt.Errorf("encode request: %w", err)
+	}
+	res, nodeID, err := r.routeBody(ctx, req.CacheKey(), body)
+	if err != nil {
+		return service.View{}, "", err
+	}
+	return res.View, nodeID, nil
+}
+
+// routeBody is the routing core shared by client submits and death
+// reroutes: pick the owner by fingerprint, walk ring successors on
+// rejection, honor brief Retry-After hints in place, and record the
+// accepted job in the gateway table.
+func (r *Router) routeBody(ctx context.Context, fp string, body []byte) (*submitResult, string, error) {
+	ring := r.ring.Load()
+	n := len(ring.Nodes())
+	if n == 0 {
+		return nil, "", ErrNoNodes
+	}
+	peeked := false
+	var maxRetryAfter time.Duration
+	for attempt := 0; attempt < n; attempt++ {
+		nodeID := ring.LookupOffset(fp, attempt)
+		if r.members.State(nodeID) != NodeUp {
+			continue // the ring is swapped atomically but may trail by a beat
+		}
+		baseURL := r.members.URL(nodeID)
+		if !peeked {
+			// Cache affinity: make sure the target holds any result the
+			// cluster already computed for this fingerprint before it
+			// decides to execute. Done once per submission — after the
+			// first probe every shard's answer is known.
+			peeked = true
+			r.ensureCached(ctx, nodeID, baseURL, fp)
+		}
+		retried := false
+		for {
+			res, err := r.client.submit(ctx, baseURL, body)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, "", ctx.Err()
+				}
+				r.log.Warn("submit forward failed", "node", nodeID, "error", err)
+				r.members.ReportFailure(nodeID, err.Error(), time.Now())
+				break // next ring successor
+			}
+			switch res.Status {
+			case http.StatusOK, http.StatusAccepted:
+				r.recordAccepted(res, nodeID, fp, body, attempt > 0)
+				return res, nodeID, nil
+			case http.StatusBadRequest:
+				return nil, "", &badRequest{Body: res.Body}
+			case http.StatusTooManyRequests:
+				if res.RetryAfter > maxRetryAfter {
+					maxRetryAfter = res.RetryAfter
+				}
+				// Honor a brief Retry-After in place: the owner keeps its
+				// cache affinity and the wait is bounded; a longer wait
+				// means the shard is genuinely backed up, so move on.
+				if !retried && res.RetryAfter > 0 && res.RetryAfter <= r.cfg.RetryWait {
+					retried = true
+					if !sleepCtx(ctx, res.RetryAfter) {
+						return nil, "", ctx.Err()
+					}
+					r.addCounter(func(c *GatewayCounters) { c.BriefRetries++ })
+					continue
+				}
+				r.log.Info("shard shed, failing over", "node", nodeID,
+					"retry_after", res.RetryAfter)
+			case http.StatusServiceUnavailable:
+				// The node started draining between health sweeps; adopt
+				// the state now so the ring reroutes its range.
+				if r.members.ReportDraining(nodeID, time.Now()) {
+					r.rebuildRing()
+					r.log.Info("node draining (learned from 503)", "node", nodeID)
+				}
+			default:
+				r.log.Warn("unexpected submit status", "node", nodeID, "status", res.Status)
+			}
+			break // next ring successor
+		}
+	}
+	r.addCounter(func(c *GatewayCounters) { c.Shed++ })
+	return nil, "", &shedError{RetryAfter: maxRetryAfter}
+}
+
+// ensureCached implements cross-shard cache affinity: if the target shard
+// misses for fp but a sibling (up or draining) holds the result, replicate
+// it to the target so the submit that follows is a local cache hit instead
+// of a re-execution. Best-effort: any probe error just means the job
+// executes normally.
+func (r *Router) ensureCached(ctx context.Context, targetID, targetURL, fp string) {
+	if _, hit, err := r.client.peek(ctx, targetURL, fp); err != nil || hit {
+		return
+	}
+	type peekResult struct {
+		doc json.RawMessage
+		ok  bool
+	}
+	sibs := r.members.Peekable()
+	results := make(chan peekResult, len(sibs))
+	probes := 0
+	for _, sib := range sibs {
+		if sib == targetID {
+			continue
+		}
+		sibURL := r.members.URL(sib)
+		probes++
+		go func() {
+			doc, ok, err := r.client.peek(ctx, sibURL, fp)
+			results <- peekResult{doc: doc, ok: ok && err == nil}
+		}()
+	}
+	for i := 0; i < probes; i++ {
+		res := <-results
+		if !res.ok {
+			continue
+		}
+		r.addCounter(func(c *GatewayCounters) { c.PeekHits++ })
+		if err := r.client.seed(ctx, targetURL, fp, res.doc); err == nil {
+			r.addCounter(func(c *GatewayCounters) { c.Seeds++ })
+		}
+		return // one copy is enough; drop remaining probe results
+	}
+}
+
+// recordAccepted lands an accepted job in the gateway table.
+func (r *Router) recordAccepted(res *submitResult, nodeID, fp string, body []byte, failover bool) {
+	terminal := res.View.State.Terminal() // cache hits arrive already done
+	e := &jobEntry{id: res.View.ID, node: nodeID, fp: fp, body: body, terminal: terminal}
+	r.mu.Lock()
+	r.jobs[e.id] = e
+	if !terminal {
+		r.byFP[fp] = e
+	}
+	r.counters.Submits++
+	if failover {
+		r.counters.Failovers++
+	}
+	r.mu.Unlock()
+}
+
+// resolve follows an id through any reroute forwarding chain.
+func (r *Router) resolve(id string) (*jobEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	for e.replaced != nil {
+		e = e.replaced
+	}
+	return e, true
+}
+
+// observeState marks a job terminal once a proxied poll shows it finished,
+// releasing its fingerprint from the in-flight dedup table.
+func (r *Router) observeState(e *jobEntry, state service.State) {
+	if !state.Terminal() {
+		return
+	}
+	r.mu.Lock()
+	e.terminal = true
+	if r.byFP[e.fp] == e {
+		delete(r.byFP, e.fp)
+	}
+	r.mu.Unlock()
+}
+
+// addCounter mutates the counters under the table lock.
+func (r *Router) addCounter(f func(*GatewayCounters)) {
+	r.mu.Lock()
+	f(&r.counters)
+	r.mu.Unlock()
+}
+
+// healthLoop sweeps every member at the configured cadence.
+func (r *Router) healthLoop(ctx context.Context) {
+	tick := time.NewTicker(r.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			r.sweepHealth(ctx)
+		}
+	}
+}
+
+// sweepHealth probes each member once and applies the state transitions:
+// up ↔ draining from the healthz body, down after FailThreshold
+// consecutive probe errors. A node going down triggers the reroute of its
+// in-flight jobs; any transition rebuilds the ring. Rebalancing is
+// deliberately asynchronous to job execution — jobs on healthy shards
+// never pause while membership changes.
+func (r *Router) sweepHealth(ctx context.Context) {
+	for _, m := range r.members.Snapshot() {
+		st, err := r.client.health(ctx, m.URL)
+		if ctx.Err() != nil {
+			return
+		}
+		now := time.Now()
+		switch {
+		case err != nil:
+			if r.members.ReportFailure(m.ID, err.Error(), now) {
+				r.log.Warn("node down", "node", m.ID, "error", err)
+				r.rebuildRing()
+				r.rerouteDead(ctx, m.ID)
+			}
+		case st == NodeUp:
+			if r.members.ReportHealthy(m.ID, now) {
+				r.log.Info("node up", "node", m.ID)
+				r.rebuildRing()
+			}
+		case st == NodeDraining:
+			if r.members.ReportDraining(m.ID, now) {
+				r.log.Info("node draining", "node", m.ID)
+				r.rebuildRing()
+			}
+		}
+	}
+}
+
+// rerouteDead re-homes the dead node's in-flight jobs. Jobs are grouped by
+// fingerprint and each fingerprint is submitted at most once: if an
+// equivalent job is already in flight on a live shard the dead jobs simply
+// alias onto it, otherwise one re-submission goes through the normal
+// routing path (which peeks sibling caches first, so work the cluster
+// already finished is never redone). Accepted jobs are therefore never
+// lost, and no fingerprint executes twice because of the reroute.
+func (r *Router) rerouteDead(ctx context.Context, deadID string) {
+	r.mu.Lock()
+	groups := map[string][]*jobEntry{}
+	for _, e := range r.jobs {
+		if e.node == deadID && !e.terminal && e.replaced == nil && e.lost == "" {
+			groups[e.fp] = append(groups[e.fp], e)
+		}
+	}
+	alive := map[string]*jobEntry{}
+	for fp := range groups {
+		if cur, ok := r.byFP[fp]; ok && cur.node != deadID && !cur.terminal && cur.replaced == nil {
+			alive[fp] = cur
+		}
+	}
+	r.mu.Unlock()
+
+	for fp, entries := range groups {
+		if tgt, ok := alive[fp]; ok {
+			r.mu.Lock()
+			for _, e := range entries {
+				e.replaced = tgt
+			}
+			r.counters.Deduped += uint64(len(entries))
+			r.mu.Unlock()
+			r.log.Info("dead jobs deduped onto in-flight twin",
+				"node", deadID, "fingerprint", fp, "jobs", len(entries), "twin", tgt.id)
+			continue
+		}
+		res, nodeID, err := r.routeBody(ctx, fp, entries[0].body)
+		if err != nil {
+			msg := fmt.Sprintf("node %s died and re-submit failed: %v", deadID, err)
+			r.mu.Lock()
+			for _, e := range entries {
+				e.lost = msg
+				e.terminal = true
+			}
+			r.mu.Unlock()
+			r.log.Error("reroute failed", "node", deadID, "fingerprint", fp, "error", err)
+			continue
+		}
+		r.mu.Lock()
+		tgt := r.jobs[res.View.ID]
+		for _, e := range entries {
+			e.replaced = tgt
+		}
+		r.counters.Reroutes++
+		r.counters.Deduped += uint64(len(entries) - 1)
+		r.mu.Unlock()
+		r.log.Info("jobs rerouted", "from", deadID, "to", nodeID,
+			"fingerprint", fp, "jobs", len(entries), "new_job", res.View.ID)
+	}
+}
+
+// AddMember joins a new node to the cluster at runtime: it enters the
+// membership up, takes over its consistent-hash share of the key space
+// (≈K/N keys move, all of them to the newcomer — see Ring), and gains a
+// stream reader so its events join the federated stream. Results the
+// cluster already holds for re-homed keys stay reachable through the
+// sibling-cache peek on submit, so adding capacity does not cost cache
+// hits.
+func (r *Router) AddMember(mem Member) error {
+	if mem.ID == "" || mem.URL == "" {
+		return errors.New("cluster: member needs an id and a url")
+	}
+	if !r.members.Add(mem, time.Now()) {
+		return fmt.Errorf("cluster: member %q already present", mem.ID)
+	}
+	r.rebuildRing()
+	if r.started.Load() && r.runCtx != nil && r.runCtx.Err() == nil {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.streamReader(r.runCtx, mem)
+		}()
+	}
+	r.log.Info("member added", "node", mem.ID, "url", mem.URL)
+	return nil
+}
+
+// DrainNode asks a member to drain and adopts the draining state
+// immediately, rebalancing its shard range to the remaining up members.
+// In-flight jobs on the draining node finish there and stay pollable.
+func (r *Router) DrainNode(ctx context.Context, id string) error {
+	url := r.members.URL(id)
+	if url == "" {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	if err := r.client.drain(ctx, url); err != nil {
+		return err
+	}
+	if r.members.ReportDraining(id, time.Now()) {
+		r.rebuildRing()
+		r.log.Info("node draining (gateway initiated)", "node", id)
+	}
+	return nil
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled; it reports whether the
+// full wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

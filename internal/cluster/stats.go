@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// NodeStats is one member's contribution to the federated stats document.
+type NodeStats struct {
+	ID    string    `json:"id"`
+	State NodeState `json:"state"`
+	// Error is set when the node's snapshot could not be fetched; Stats is
+	// then nil and the node contributes nothing to the merged view.
+	Error string                  `json:"error,omitempty"`
+	Stats *service.TelemetryStats `json:"stats,omitempty"`
+}
+
+// ClusterStats is the gateway's GET /v1/stats document: every reachable
+// node's rolling-window snapshot side by side, plus one merged cluster
+// view built with telemetry.Merge (counts/sums exact, quantiles
+// count-weighted estimates) and the gateway's own routing counters.
+type ClusterStats struct {
+	Now     time.Time              `json:"now"`
+	Nodes   []NodeStats            `json:"nodes"`
+	Cluster service.TelemetryStats `json:"cluster"`
+	Gateway GatewayCounters        `json:"gateway"`
+	// InFlight is how many accepted jobs the gateway still considers
+	// unfinished (terminal states not yet observed by a poll).
+	InFlight int `json:"in_flight"`
+}
+
+// FederatedStats fans a stats fetch out to every up or draining member
+// concurrently and merges the answers. A node that fails to answer is
+// reported with its error instead of silently shrinking the cluster view.
+func (r *Router) FederatedStats(ctx context.Context) ClusterStats {
+	members := r.members.Snapshot()
+	out := ClusterStats{Now: time.Now(), Nodes: make([]NodeStats, len(members))}
+	var wg sync.WaitGroup
+	for i, m := range members {
+		out.Nodes[i] = NodeStats{ID: m.ID, State: m.State}
+		if m.State == NodeDown {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			st, err := r.client.stats(ctx, url)
+			if err != nil {
+				out.Nodes[i].Error = err.Error()
+				return
+			}
+			out.Nodes[i].Stats = &st
+		}(i, m.URL)
+	}
+	wg.Wait()
+	first := true
+	for _, ns := range out.Nodes {
+		if ns.Stats == nil {
+			continue
+		}
+		if first {
+			out.Cluster = *ns.Stats
+			first = false
+			continue
+		}
+		out.Cluster = mergeTelemetry(out.Cluster, *ns.Stats)
+	}
+	out.Cluster.Node = "" // the merged view belongs to no single node
+	out.Gateway = r.Counters()
+	out.InFlight = r.inFlight()
+	return out
+}
+
+// inFlight counts gateway job entries not yet observed terminal.
+func (r *Router) inFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.jobs {
+		if !e.terminal && e.replaced == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeTelemetry folds two per-node stats documents into a cluster view:
+// gauges add (cluster queue depth is the sum of shard depths), rolling
+// windows merge via telemetry.Merge, and the overlap window re-derives its
+// fleet-level fraction from the summed comm/hidden seconds so it stays
+// consistent with the per-job reports, exactly as each node's own window
+// does.
+func mergeTelemetry(a, b service.TelemetryStats) service.TelemetryStats {
+	out := a
+	if b.Now.After(out.Now) {
+		out.Now = b.Now
+	}
+	if b.WindowSec > out.WindowSec {
+		out.WindowSec = b.WindowSec
+	}
+	out.Queue.Depth = a.Queue.Depth + b.Queue.Depth
+	out.Queue.Capacity = a.Queue.Capacity + b.Queue.Capacity
+	out.Workers.Busy = a.Workers.Busy + b.Workers.Busy
+	out.Workers.Total = a.Workers.Total + b.Workers.Total
+	out.QueueDepth = telemetry.Merge(a.QueueDepth, b.QueueDepth)
+	out.QueueWait = telemetry.Merge(a.QueueWait, b.QueueWait)
+	exec := make(map[string]telemetry.Stats, len(a.Exec))
+	for typ, s := range a.Exec {
+		exec[typ] = s
+	}
+	for typ, s := range b.Exec {
+		exec[typ] = telemetry.Merge(exec[typ], s)
+	}
+	out.Exec = exec
+	out.Overlap = service.OverlapWindow{
+		Jobs:      a.Overlap.Jobs + b.Overlap.Jobs,
+		CommSec:   a.Overlap.CommSec + b.Overlap.CommSec,
+		HiddenSec: a.Overlap.HiddenSec + b.Overlap.HiddenSec,
+		PerJob:    telemetry.Merge(a.Overlap.PerJob, b.Overlap.PerJob),
+	}
+	if out.Overlap.CommSec > 0 {
+		out.Overlap.Fraction = out.Overlap.HiddenSec / out.Overlap.CommSec
+	}
+	out.Points = telemetry.Merge(a.Points, b.Points)
+	out.PointsPerSec = out.Points.SumPerSec
+	return out
+}

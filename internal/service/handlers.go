@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -32,6 +33,9 @@ type errorDoc struct {
 //	GET    /v1/stream           live SSE stream of job events and stats
 //	GET    /v1/kinds            implementation catalogue
 //	GET    /v1/experiments      experiment catalogue
+//	GET    /v1/cache/{key}      peek the result cache (cluster affinity probe)
+//	PUT    /v1/cache/{key}      seed the result cache (cluster replication)
+//	POST   /v1/drain            begin a graceful drain (cluster rebalance)
 //	GET    /metrics             Prometheus text (JSON with ?format=json)
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /debug/pprof/        Go profiling endpoints (Config.EnablePprof)
@@ -47,6 +51,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.EnablePprof {
@@ -79,6 +86,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds()+0.5)))
 		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
+		// Retry-After on the drain 503 mirrors the 429 contract: a gateway
+		// reads it to decide between failing over to another shard (always,
+		// for a drain) and how long a standalone client should back off —
+		// roughly the time the drain needs to finish and a restart to land.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.DrainTimeout.Seconds()+0.5)))
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
 	default:
 		var re *RequestError
@@ -190,12 +202,76 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is drain-aware: once Shutdown begins it answers 503 so load
 // balancers stop routing to an instance that will refuse new jobs anyway.
+// Inside a cluster the body also names the node, letting a gateway verify
+// it is talking to the member it thinks it is.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	doc := map[string]any{"status": "ok"}
+	if s.cfg.NodeID != "" {
+		doc["node"] = s.cfg.NodeID
+	}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		doc["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, doc)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleCachePeek serves the raw cached result document for a cache key, or
+// 404. It reads without promoting the entry or counting a hit/miss, so a
+// cluster gateway probing sibling shards for a result (cache affinity after
+// a membership change) never distorts this node's own cache statistics.
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	doc, ok := s.cache.Peek(r.PathValue("key"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "cache miss"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(doc)
+}
+
+// maxCacheSeedBytes bounds a PUT /v1/cache body; result documents are tens
+// of kilobytes, so 8 MiB is generous without letting a peer exhaust memory.
+const maxCacheSeedBytes = 8 << 20
+
+// handleCachePut seeds the result cache under the given key — the
+// replication half of cross-node cache peeking: when a gateway finds a
+// result on a sibling shard it copies the document to the key's new owner,
+// so the very next identical submit hits locally.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxCacheSeedBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "read body: " + err.Error()})
+		return
+	}
+	if len(body) > maxCacheSeedBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorDoc{Error: "cache document too large"})
+		return
+	}
+	if !json.Valid(body) {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "cache document is not valid JSON"})
+		return
+	}
+	s.cache.Put(r.PathValue("key"), json.RawMessage(body))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDrain begins a graceful drain without waiting for it: admission
+// stops (and /healthz flips to 503 draining) immediately, while queued and
+// running jobs keep executing and stay pollable on this node until they
+// finish. A cluster gateway uses this to rebalance a shard away — in-flight
+// work lands normally, new traffic reroutes — before the process exits.
+// Idempotent: repeated drains report the current state.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	already := s.Draining()
+	if !already {
+		go func() { _ = s.Shutdown() }()
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"status": "draining", "already_draining": already,
+	})
 }
 
 // handleTrace serves a traced job's stitched Chrome trace-event JSON: the

@@ -41,6 +41,11 @@ type Config struct {
 	// StreamInterval is the default cadence of stats events on
 	// GET /v1/stream (overridable per request with ?interval=). Default 1s.
 	StreamInterval time.Duration
+	// NodeID names this instance inside a cluster. When set, job IDs are
+	// prefixed with it (so IDs stay globally unique across shards) and it
+	// is reported by /healthz and /v1/stats so a gateway can label
+	// federated telemetry. Empty means standalone (no prefix, no label).
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -100,7 +105,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		log:        cfg.Logger,
-		store:      NewStore(),
+		store:      NewStore(cfg.NodeID),
 		queue:      NewQueue(cfg.QueueCap),
 		cache:      NewCache(cfg.CacheEntries),
 		metrics:    NewMetrics(time.Now()),
@@ -257,11 +262,13 @@ func (s *Server) MetricsSnapshot() Snapshot {
 
 // StatsSnapshot assembles the rolling-window telemetry document.
 func (s *Server) StatsSnapshot() TelemetryStats {
-	return s.tele.Stats(
+	st := s.tele.Stats(
 		time.Now(),
 		QueueGauges{Depth: s.queue.Depth(), Capacity: s.queue.Cap()},
 		WorkerGauges{Busy: s.pool.Busy(), Total: s.pool.Workers()},
 	)
+	st.Node = s.cfg.NodeID
+	return st
 }
 
 // Shutdown drains the service: admission stops (new submissions get 503),

@@ -9,15 +9,18 @@ import (
 // and result delivery. Reads never touch the queue or the pool, so
 // delivery stays responsive while the workers are saturated.
 type Store struct {
-	mu    sync.RWMutex
-	jobs  map[string]*Job
-	order []string // submission order, for listing
-	next  int
+	mu     sync.RWMutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	next   int
+	prefix string // cluster node id; "" standalone
 }
 
-// NewStore builds an empty store.
-func NewStore() *Store {
-	return &Store{jobs: map[string]*Job{}}
+// NewStore builds an empty store. A non-empty nodeID prefixes every minted
+// job id ("<node>-job-000001"), keeping IDs globally unique across a
+// cluster's shards so a gateway can route polls by id alone.
+func NewStore(nodeID string) *Store {
+	return &Store{jobs: map[string]*Job{}, prefix: nodeID}
 }
 
 // NewID mints the next job id.
@@ -25,6 +28,9 @@ func (s *Store) NewID() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.next++
+	if s.prefix != "" {
+		return fmt.Sprintf("%s-job-%06d", s.prefix, s.next)
+	}
 	return fmt.Sprintf("job-%06d", s.next)
 }
 

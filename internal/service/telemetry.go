@@ -116,7 +116,9 @@ type OverlapWindow struct {
 // TelemetryStats is the GET /v1/stats document: live gauges plus the
 // rolling windows.
 type TelemetryStats struct {
-	Now        time.Time                  `json:"now"`
+	Now time.Time `json:"now"`
+	// Node is the cluster node identity (Config.NodeID); empty standalone.
+	Node       string                     `json:"node,omitempty"`
 	WindowSec  float64                    `json:"window_sec"`
 	Queue      QueueGauges                `json:"queue"`
 	Workers    WorkerGauges               `json:"workers"`
