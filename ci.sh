@@ -65,6 +65,28 @@ awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
 # these; the explicit pass keeps the gate visible if the suite is filtered.
 go test -race -run 'TestClusterKillNodeMidRun|TestClusterDrainGraceful' -count=1 ./internal/cluster
 
+# Disabled-cluster-tracing overhead guard: an untraced submission carries
+# a nil *submissionTrace through the whole gateway routing path; it must
+# stay allocation-free (test-asserted) and under the ns/op bound recorded
+# in BENCH_gateway.json, so cluster tracing costs nothing when off.
+go test -run TestGatewayTraceDisabledAllocatesNothing -count=1 ./internal/cluster
+max_ns=$(sed -n 's/.*"disabled_max_ns_per_op": *\([0-9.]*\).*/\1/p' BENCH_gateway.json)
+bench_out=$(go test -run '^$' -bench BenchmarkGatewayTraceDisabled -benchtime 1000000x ./internal/cluster)
+echo "$bench_out"
+ns=$(echo "$bench_out" | awk '/^BenchmarkGatewayTraceDisabled/ {print $3}')
+awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
+    if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
+    if (ns + 0 > max + 0) { printf "disabled-cluster-tracing path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
+}'
+
+# Cluster trace golden gate: one traced job through a 2-node cluster with
+# a mid-run failover must yield a single Chrome trace whose per-process
+# phase vocabulary matches the checked-in skeleton. The full -race suite
+# above already runs this; the explicit pass keeps the gate visible if
+# the suite is filtered. Regenerate with UPDATE_GOLDEN=1 after
+# intentional span-set changes.
+go test -run TestClusterTraceFailoverGolden -count=1 ./internal/cluster
+
 # Ring hot-path guard: consistent-hash Lookup runs on every gateway
 # submission and must stay allocation-free (test-asserted) and under the
 # ns/op bound recorded in BENCH_cluster.json.

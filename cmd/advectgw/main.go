@@ -20,7 +20,17 @@
 // plus a merged view), federated GET /v1/stream (every node's SSE events,
 // node-labelled, plus periodic merged cluster stats), GET /v1/cluster
 // (membership, ring, routing counters), POST /v1/nodes to join a node and
-// POST /v1/nodes/{id}/drain to rebalance one away gracefully.
+// POST /v1/nodes/{id}/drain to rebalance one away gracefully. The gateway
+// exports its own observability on GET /metrics (routing counters, rolling
+// route/peek/failover windows, process health; Prometheus text or
+// ?format=json) and, with -pprof, net/http/pprof under /debug/pprof.
+//
+// Traced submissions (simulate jobs with "trace": true) get a cluster
+// trace context minted at the gateway and propagated to the owner node on
+// the X-Advect-Trace header, so GET /v1/jobs/{id}/trace returns one Chrome
+// trace spanning gateway routing, the cross-node handoff, and the
+// per-rank runner phases — including any failover or dead-node
+// resubmission the job lived through.
 //
 // Routing honors the nodes' backpressure contract: a 429 with a short
 // Retry-After is absorbed by briefly retrying the owner shard (keeping its
@@ -66,6 +76,8 @@ func main() {
 		retryWait = flag.Duration("retrywait", time.Second, "longest Retry-After honored by retrying the owner shard in place")
 		reqTO     = flag.Duration("timeout", 10*time.Second, "outbound per-request timeout to nodes")
 		stream    = flag.Duration("stream", time.Second, "merged cluster-stats cadence on /v1/stream")
+		window    = flag.Duration("window", time.Minute, "gateway rolling-telemetry window span")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof")
 		logJSON   = flag.Bool("logjson", false, "emit logs as JSON instead of logfmt text")
 		logLevel  = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
 	)
@@ -119,6 +131,8 @@ func main() {
 		RetryWait:      *retryWait,
 		RequestTimeout: *reqTO,
 		StreamInterval: *stream,
+		StatsWindow:    *window,
+		EnablePprof:    *pprofOn,
 		Logger:         logger,
 	})
 	runCtx, stopRun := context.WithCancel(context.Background())

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -124,6 +125,33 @@ func main() {
 	fmt.Fprintln(w, "a 3-node kill-one-mid-run e2e under the race detector, and the ring")
 	fmt.Fprintln(w, "lookup on the submit path is allocation-free and sub-microsecond")
 	fmt.Fprintln(w, "(bounded in CI by `BENCH_cluster.json`). See README \"Running a cluster\".")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Tracing across the cluster")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "A traced submission through the gateway yields one Chrome trace that")
+	fmt.Fprintln(w, "starts at the gateway: routing decisions are recorded as spans and")
+	fmt.Fprintln(w, "shipped to the owning node on the `X-Advect-Trace` header, the node")
+	fmt.Fprintln(w, "bridges the hop with a clock-offset-annotated `gw.handoff` span, and a")
+	fmt.Fprintln(w, "mid-run node failure is survived by harvesting the dead node's span log")
+	fmt.Fprintln(w, "before the fingerprint reroute — so the export shows the partial run,")
+	fmt.Fprintln(w, "the resubmission, and the survivor's full run on one monotonic")
+	fmt.Fprintln(w, "timeline (golden-tested in `internal/cluster`). The full span")
+	fmt.Fprintln(w, "vocabulary, one track per rank × phase:")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Phase | Clock |")
+	fmt.Fprintln(w, "|---|---|")
+	for _, p := range obs.AllPhases() {
+		fmt.Fprintf(w, "| `%s` | %s |\n", p, p.Base())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "`compute.*`/`halo.*`/`mpi.*`/`pcie.*`/`gpu.*`/`copy`/`par.region` are")
+	fmt.Fprintln(w, "the runner phases the paper names; `svc.*` is the daemon's request")
+	fmt.Fprintln(w, "lifecycle; `gw.*` is the gateway's routing story (route, affinity peek,")
+	fmt.Fprintln(w, "submit, brief retry, failover, dead-node resubmit, cross-process")
+	fmt.Fprintln(w, "handoff). Wall-clock spans are rebased across processes; sim-clock")
+	fmt.Fprintln(w, "spans carry the simulated device's virtual time and are never")
+	fmt.Fprintln(w, "conflated with it.")
 }
 
 // writeMarkdown renders a stats.Table as a Markdown table.

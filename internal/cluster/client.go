@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -42,8 +43,10 @@ type submitResult struct {
 	View       service.View  // decoded body on 200/202
 }
 
-// submit forwards an already-encoded request body to a node.
-func (c *nodeClient) submit(ctx context.Context, baseURL string, body []byte) (*submitResult, error) {
+// submit forwards an already-encoded request body to a node. A non-empty
+// traceHeader rides along as X-Advect-Trace, handing the gateway's span
+// log to the owner.
+func (c *nodeClient) submit(ctx context.Context, baseURL string, body []byte, traceHeader string) (*submitResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(body))
@@ -51,6 +54,9 @@ func (c *nodeClient) submit(ctx context.Context, baseURL string, body []byte) (*
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceHeader != "" {
+		req.Header.Set(obs.TraceHeader, traceHeader)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -121,6 +127,37 @@ func (c *nodeClient) seed(ctx context.Context, baseURL, key string, doc json.Raw
 		return fmt.Errorf("cache seed: status %d", resp.StatusCode)
 	}
 	return nil
+}
+
+// spans fetches a job's raw span log (its wire trace context) from a
+// node. The timeout is capped at 2s regardless of the configured request
+// timeout: the only caller is the dead-node harvest, where a node that
+// stopped answering health checks should not stall the reroute sweep.
+func (c *nodeClient) spans(ctx context.Context, baseURL, id string) (*obs.TraceContext, error) {
+	to := c.timeout
+	if to > 2*time.Second {
+		to = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, to)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+id+"/spans", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("spans: status %d", resp.StatusCode)
+	}
+	var doc obs.TraceContext
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode spans: %w", err)
+	}
+	return &doc, nil
 }
 
 // health probes a node: state is NodeUp or NodeDraining on a parseable

@@ -82,6 +82,7 @@ type gwView struct {
 	CacheHit bool          `json:"cache_hit"`
 	Error    string        `json:"error"`
 	Node     string        `json:"node"`
+	TraceID  string        `json:"trace_id"`
 }
 
 func (tc *testCluster) submit(t *testing.T, body string) (int, gwView) {

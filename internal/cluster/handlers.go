@@ -4,15 +4,23 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/service"
 )
 
-// errorDoc matches the per-node JSON error envelope.
+// errorDoc matches the per-node JSON error envelope, extended with routing
+// attribution: which shard (or shards, for a cluster-wide shed) the
+// gateway was talking to when the request failed, and how many dispatches
+// it spent.
 type errorDoc struct {
-	Error string `json:"error"`
+	Error    string   `json:"error"`
+	Node     string   `json:"node,omitempty"`
+	Nodes    []string `json:"nodes,omitempty"`
+	Attempts int      `json:"attempts,omitempty"`
 }
 
 // routes builds the gateway HTTP API. The job surface mirrors a single
@@ -24,6 +32,7 @@ type errorDoc struct {
 //	GET    /v1/jobs/{id}          job status (proxied, node-labelled)
 //	GET    /v1/jobs/{id}/result   result document (proxied)
 //	GET    /v1/jobs/{id}/trace    stitched Chrome trace (proxied)
+//	GET    /v1/jobs/{id}/spans    raw span log / wire trace context (proxied)
 //	DELETE /v1/jobs/{id}          cancel (proxied)
 //	GET    /v1/stats              federated rolling-window telemetry
 //	GET    /v1/stream             federated SSE stream (node-labelled)
@@ -32,6 +41,7 @@ type errorDoc struct {
 //	GET    /v1/cluster            membership, ring, and routing counters
 //	POST   /v1/nodes              join a new node ({"id": ..., "url": ...})
 //	POST   /v1/nodes/{id}/drain   drain one node and rebalance its shard
+//	GET    /metrics               gateway Prometheus exposition (?format=json)
 //	GET    /healthz               gateway liveness (503 with no routable nodes)
 func (r *Router) routes() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -40,6 +50,7 @@ func (r *Router) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", r.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", r.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", r.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", r.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleCancel)
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
 	mux.HandleFunc("GET /v1/stream", r.handleStream)
@@ -48,7 +59,15 @@ func (r *Router) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/cluster", r.handleCluster)
 	mux.HandleFunc("POST /v1/nodes", r.handleNodeJoin)
 	mux.HandleFunc("POST /v1/nodes/{id}/drain", r.handleNodeDrain)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	if r.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -75,7 +94,9 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 				ra = time.Second
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds()+0.5)))
-			writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: err.Error()})
+			writeJSON(w, http.StatusTooManyRequests, errorDoc{
+				Error: err.Error(), Nodes: shed.Nodes, Attempts: shed.Attempts,
+			})
 		case errors.Is(err, ErrNoNodes):
 			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
 		default:
@@ -114,7 +135,7 @@ func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
 	}
 	status, _, body, err := r.client.get(req.Context(), r.members.URL(e.node)+"/v1/jobs/"+e.id)
 	if err != nil {
-		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error()})
+		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error(), Node: e.node})
 		return
 	}
 	if status == http.StatusOK {
@@ -144,7 +165,7 @@ func (r *Router) handleResult(w http.ResponseWriter, req *http.Request) {
 	}
 	status, ctype, body, err := r.client.get(req.Context(), url)
 	if err != nil {
-		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error()})
+		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error(), Node: e.node})
 		return
 	}
 	// The node's result handler encodes the job state in its status code:
@@ -172,7 +193,27 @@ func (r *Router) handleTrace(w http.ResponseWriter, req *http.Request) {
 	}
 	status, ctype, body, err := r.client.get(req.Context(), r.members.URL(e.node)+"/v1/jobs/"+e.id+"/trace")
 	if err != nil {
-		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error()})
+		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error(), Node: e.node})
+		return
+	}
+	passThrough(w, status, ctype, body)
+}
+
+// handleSpans proxies a job's raw span log (the wire trace context) from
+// its shard, the same document the dead-node harvest reads.
+func (r *Router) handleSpans(w http.ResponseWriter, req *http.Request) {
+	e, ok := r.resolve(req.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	if e.lost != "" {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: e.lost, Node: e.node})
+		return
+	}
+	status, ctype, body, err := r.client.get(req.Context(), r.members.URL(e.node)+"/v1/jobs/"+e.id+"/spans")
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error(), Node: e.node})
 		return
 	}
 	passThrough(w, status, ctype, body)
@@ -190,7 +231,7 @@ func (r *Router) handleCancel(w http.ResponseWriter, req *http.Request) {
 	}
 	status, ctype, body, err := r.client.del(req.Context(), r.members.URL(e.node)+"/v1/jobs/"+e.id)
 	if err != nil {
-		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error()})
+		writeJSON(w, http.StatusBadGateway, errorDoc{Error: "shard unreachable: " + err.Error(), Node: e.node})
 		return
 	}
 	if status == http.StatusOK {
@@ -349,6 +390,21 @@ func (r *Router) handleNodeDrain(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"status": "draining", "node": id})
+}
+
+// handleMetrics serves the gateway's own observability: cumulative routing
+// counters, rolling route/peek/failover windows, and process health, in
+// the Prometheus text format by default or JSON on request.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	m := r.Metrics(time.Now())
+	if req.URL.Query().Get("format") == "json" ||
+		strings.Contains(req.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(m.Prometheus()))
 }
 
 // handleHealthz reports gateway liveness: healthy while at least one

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -40,6 +41,12 @@ type Config struct {
 	// StreamInterval is the cadence of merged cluster-stats events on the
 	// federated SSE stream. Default 1s.
 	StreamInterval time.Duration
+	// StatsWindow spans the gateway's rolling telemetry windows (route
+	// latency, peek hit rate, failovers). Default 60s.
+	StatsWindow time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof on the gateway
+	// mux (the same switch advectd exposes via -pprof).
+	EnablePprof bool
 	// Logger receives structured routing events. Default: discard.
 	Logger *slog.Logger
 }
@@ -59,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamInterval <= 0 {
 		c.StreamInterval = time.Second
+	}
+	if c.StatsWindow <= 0 {
+		c.StatsWindow = 60 * time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -102,8 +112,9 @@ type jobEntry struct {
 	fp       string
 	body     []byte
 	terminal bool
-	lost     string    // non-empty: node died and the re-submit failed
-	replaced *jobEntry // forwarding pointer after a reroute
+	lost     string           // non-empty: node died and the re-submit failed
+	replaced *jobEntry        // forwarding pointer after a reroute
+	trace    *submissionTrace // gateway trace state; nil for untraced jobs
 }
 
 // Router is the cluster gateway: it owns the hash ring, the membership
@@ -117,6 +128,7 @@ type Router struct {
 	members *Membership
 	ring    atomic.Pointer[Ring]
 	hub     *telemetry.Hub
+	tele    *GatewayTelemetry
 	mux     *http.ServeMux
 
 	mu       sync.Mutex
@@ -140,6 +152,7 @@ func NewRouter(cfg Config) *Router {
 		client:  newNodeClient(cfg.RequestTimeout),
 		members: NewMembership(cfg.Members, cfg.FailThreshold, time.Now()),
 		hub:     telemetry.NewHub(),
+		tele:    NewGatewayTelemetry(cfg.StatsWindow),
 		jobs:    map[string]*jobEntry{},
 		byFP:    map[string]*jobEntry{},
 	}
@@ -209,9 +222,13 @@ var (
 	errShed = errors.New("cluster: every routable shard shed the job")
 )
 
-// shedError is returned when every routable shard rejected the submit.
+// shedError is returned when every routable shard rejected the submit. It
+// carries the nodes tried and the dispatch count so the 429 body tells the
+// client exactly which shards turned the job away.
 type shedError struct {
 	RetryAfter time.Duration
+	Nodes      []string
+	Attempts   int
 }
 
 func (e *shedError) Error() string { return errShed.Error() }
@@ -227,13 +244,20 @@ func (e *badRequest) Error() string { return "cluster: node rejected request" }
 // Submit routes one client submission: consistent-hash owner first, cache
 // affinity peek before execution, Retry-After-honoring brief retry on a
 // shedding owner, then failover around the ring. On success the returned
-// view names the node that accepted the job.
+// view names the node that accepted the job. A traced request gets a
+// cluster trace context minted here: the gateway records its own routing
+// spans and ships them to the owner on the X-Advect-Trace header, so the
+// job's Chrome trace starts at the gateway, not at the node.
 func (r *Router) Submit(ctx context.Context, req service.Request) (service.View, string, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return service.View{}, "", fmt.Errorf("encode request: %w", err)
 	}
-	res, nodeID, err := r.routeBody(ctx, req.CacheKey(), body)
+	var tr *submissionTrace
+	if req.Traced() {
+		tr = newSubmissionTrace()
+	}
+	res, nodeID, err := r.routeBody(ctx, req.CacheKey(), body, tr)
 	if err != nil {
 		return service.View{}, "", err
 	}
@@ -243,20 +267,29 @@ func (r *Router) Submit(ctx context.Context, req service.Request) (service.View,
 // routeBody is the routing core shared by client submits and death
 // reroutes: pick the owner by fingerprint, walk ring successors on
 // rejection, honor brief Retry-After hints in place, and record the
-// accepted job in the gateway table.
-func (r *Router) routeBody(ctx context.Context, fp string, body []byte) (*submitResult, string, error) {
+// accepted job in the gateway table. With a non-nil trace every routing
+// decision lands as a gw.* span: the route lookup, the cache peek
+// fan-out, each dispatch, each brief retry wait, and each failover, all
+// shipped to the eventual owner in the dispatch header.
+func (r *Router) routeBody(ctx context.Context, fp string, body []byte, tr *submissionTrace) (*submitResult, string, error) {
 	ring := r.ring.Load()
 	n := len(ring.Nodes())
 	if n == 0 {
 		return nil, "", ErrNoNodes
 	}
+	started := time.Now()
 	peeked := false
 	var maxRetryAfter time.Duration
+	var tried []string
+	attempts := 0
 	for attempt := 0; attempt < n; attempt++ {
+		routeStart := tr.clock()
 		nodeID := ring.LookupOffset(fp, attempt)
 		if r.members.State(nodeID) != NodeUp {
 			continue // the ring is swapped atomically but may trail by a beat
 		}
+		tried = append(tried, nodeID)
+		tr.add(obs.PhaseGWRoute, nodeID, routeStart, tr.clock())
 		baseURL := r.members.URL(nodeID)
 		if !peeked {
 			// Cache affinity: make sure the target holds any result the
@@ -264,22 +297,38 @@ func (r *Router) routeBody(ctx context.Context, fp string, body []byte) (*submit
 			// decides to execute. Done once per submission — after the
 			// first probe every shard's answer is known.
 			peeked = true
+			peek := tr.begin(obs.PhaseGWPeek, nodeID)
 			r.ensureCached(ctx, nodeID, baseURL, fp)
+			peek.End()
 		}
 		retried := false
+		dispatchFrom := tr.clock()
 		for {
-			res, err := r.client.submit(ctx, baseURL, body)
+			attempts++
+			// The gw.submit span is recorded before the dispatch so it
+			// rides the header into the owner; the network hop itself shows
+			// up as the owner-side gw.handoff span.
+			preSend := tr.clock()
+			tr.add(obs.PhaseGWSubmit, nodeID, dispatchFrom, preSend)
+			res, err := r.client.submit(ctx, baseURL, body, tr.header())
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, "", ctx.Err()
 				}
-				r.log.Warn("submit forward failed", "node", nodeID, "error", err)
+				r.log.Warn("submit forward failed", "node", nodeID,
+					"attempt", attempts, "error", err)
 				r.members.ReportFailure(nodeID, err.Error(), time.Now())
+				tr.add(obs.PhaseGWFailover, nodeID, preSend, tr.clock())
+				r.tele.RecordFailover(time.Now())
 				break // next ring successor
 			}
 			switch res.Status {
 			case http.StatusOK, http.StatusAccepted:
-				r.recordAccepted(res, nodeID, fp, body, attempt > 0)
+				r.recordAccepted(res, nodeID, fp, body, attempt > 0, tr)
+				now := time.Now()
+				r.tele.RecordRoute(now, nodeID, now.Sub(started), attempts)
+				r.log.Info("job routed", "node", nodeID, "attempt", attempts,
+					"job", res.View.ID, "failover", attempt > 0)
 				return res, nodeID, nil
 			case http.StatusBadRequest:
 				return nil, "", &badRequest{Body: res.Body}
@@ -292,29 +341,44 @@ func (r *Router) routeBody(ctx context.Context, fp string, body []byte) (*submit
 				// means the shard is genuinely backed up, so move on.
 				if !retried && res.RetryAfter > 0 && res.RetryAfter <= r.cfg.RetryWait {
 					retried = true
+					waitStart := tr.clock()
 					if !sleepCtx(ctx, res.RetryAfter) {
 						return nil, "", ctx.Err()
 					}
 					r.addCounter(func(c *GatewayCounters) { c.BriefRetries++ })
+					r.tele.RecordRetry(time.Now())
+					dispatchFrom = tr.clock()
+					tr.add(obs.PhaseGWRetry, nodeID, waitStart, dispatchFrom)
 					continue
 				}
 				r.log.Info("shard shed, failing over", "node", nodeID,
-					"retry_after", res.RetryAfter)
+					"attempt", attempts, "retry_after", res.RetryAfter)
+				tr.add(obs.PhaseGWFailover, nodeID, preSend, tr.clock())
+				r.tele.RecordFailover(time.Now())
 			case http.StatusServiceUnavailable:
 				// The node started draining between health sweeps; adopt
 				// the state now so the ring reroutes its range.
 				if r.members.ReportDraining(nodeID, time.Now()) {
 					r.rebuildRing()
-					r.log.Info("node draining (learned from 503)", "node", nodeID)
+					r.log.Info("node draining (learned from 503)",
+						"node", nodeID, "attempt", attempts)
 				}
+				tr.add(obs.PhaseGWFailover, nodeID, preSend, tr.clock())
+				r.tele.RecordFailover(time.Now())
 			default:
-				r.log.Warn("unexpected submit status", "node", nodeID, "status", res.Status)
+				r.log.Warn("unexpected submit status", "node", nodeID,
+					"attempt", attempts, "status", res.Status)
+				tr.add(obs.PhaseGWFailover, nodeID, preSend, tr.clock())
+				r.tele.RecordFailover(time.Now())
 			}
 			break // next ring successor
 		}
 	}
 	r.addCounter(func(c *GatewayCounters) { c.Shed++ })
-	return nil, "", &shedError{RetryAfter: maxRetryAfter}
+	r.tele.RecordShed(time.Now())
+	r.log.Warn("submission shed cluster-wide", "nodes", tried,
+		"attempts", attempts, "retry_after", maxRetryAfter)
+	return nil, "", &shedError{RetryAfter: maxRetryAfter, Nodes: tried, Attempts: attempts}
 }
 
 // ensureCached implements cross-shard cache affinity: if the target shard
@@ -323,7 +387,10 @@ func (r *Router) routeBody(ctx context.Context, fp string, body []byte) (*submit
 // of a re-execution. Best-effort: any probe error just means the job
 // executes normally.
 func (r *Router) ensureCached(ctx context.Context, targetID, targetURL, fp string) {
-	if _, hit, err := r.client.peek(ctx, targetURL, fp); err != nil || hit {
+	if _, hit, err := r.client.peek(ctx, targetURL, fp); err != nil {
+		return
+	} else if hit {
+		r.tele.RecordPeek(time.Now(), true)
 		return
 	}
 	type peekResult struct {
@@ -350,17 +417,21 @@ func (r *Router) ensureCached(ctx context.Context, targetID, targetURL, fp strin
 			continue
 		}
 		r.addCounter(func(c *GatewayCounters) { c.PeekHits++ })
+		r.tele.RecordPeek(time.Now(), true)
 		if err := r.client.seed(ctx, targetURL, fp, res.doc); err == nil {
 			r.addCounter(func(c *GatewayCounters) { c.Seeds++ })
 		}
 		return // one copy is enough; drop remaining probe results
 	}
+	r.tele.RecordPeek(time.Now(), false)
 }
 
-// recordAccepted lands an accepted job in the gateway table.
-func (r *Router) recordAccepted(res *submitResult, nodeID, fp string, body []byte, failover bool) {
+// recordAccepted lands an accepted job in the gateway table. The trace
+// state is kept with the entry so a dead-node resubmission continues the
+// same trace instead of starting a fresh one.
+func (r *Router) recordAccepted(res *submitResult, nodeID, fp string, body []byte, failover bool, tr *submissionTrace) {
 	terminal := res.View.State.Terminal() // cache hits arrive already done
-	e := &jobEntry{id: res.View.ID, node: nodeID, fp: fp, body: body, terminal: terminal}
+	e := &jobEntry{id: res.View.ID, node: nodeID, fp: fp, body: body, terminal: terminal, trace: tr}
 	r.mu.Lock()
 	r.jobs[e.id] = e
 	if !terminal {
@@ -491,7 +562,19 @@ func (r *Router) rerouteDead(ctx context.Context, deadID string) {
 				"node", deadID, "fingerprint", fp, "jobs", len(entries), "twin", tgt.id)
 			continue
 		}
-		res, nodeID, err := r.routeBody(ctx, fp, entries[0].body)
+		// A traced job continues its original trace: salvage whatever span
+		// log the dying node can still serve (best-effort — a hung process
+		// often answers reads long after it stops passing health checks),
+		// then mark the resubmission decision before routing again.
+		tr := entries[0].trace
+		if tr != nil {
+			start := tr.clock()
+			if c, err := r.client.spans(ctx, r.members.URL(deadID), entries[0].id); err == nil {
+				tr.harvest(deadID, c)
+			}
+			tr.add(obs.PhaseGWResubmit, deadID, start, tr.clock())
+		}
+		res, nodeID, err := r.routeBody(ctx, fp, entries[0].body, tr)
 		if err != nil {
 			msg := fmt.Sprintf("node %s died and re-submit failed: %v", deadID, err)
 			r.mu.Lock()
@@ -511,6 +594,7 @@ func (r *Router) rerouteDead(ctx context.Context, deadID string) {
 		r.counters.Reroutes++
 		r.counters.Deduped += uint64(len(entries) - 1)
 		r.mu.Unlock()
+		r.tele.RecordReroute(time.Now())
 		r.log.Info("jobs rerouted", "from", deadID, "to", nodeID,
 			"fingerprint", fp, "jobs", len(entries), "new_job", res.View.ID)
 	}

@@ -28,6 +28,9 @@ type ClusterStats struct {
 	Nodes   []NodeStats            `json:"nodes"`
 	Cluster service.TelemetryStats `json:"cluster"`
 	Gateway GatewayCounters        `json:"gateway"`
+	// GatewayWindow is the gateway's own rolling telemetry (route latency,
+	// peek hit rate, failovers), next to the per-node windows it fronts.
+	GatewayWindow GatewayWindowStats `json:"gateway_window"`
 	// InFlight is how many accepted jobs the gateway still considers
 	// unfinished (terminal states not yet observed by a poll).
 	InFlight int `json:"in_flight"`
@@ -71,6 +74,7 @@ func (r *Router) FederatedStats(ctx context.Context) ClusterStats {
 	}
 	out.Cluster.Node = "" // the merged view belongs to no single node
 	out.Gateway = r.Counters()
+	out.GatewayWindow = r.tele.Stats(out.Now)
 	out.InFlight = r.inFlight()
 	return out
 }

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// GatewayTelemetry aggregates the gateway's rolling routing windows: how
+// long submissions take to land, how many dispatch attempts they need, how
+// often the sibling-cache peek pays off, and how often the router falls
+// back to retries, failovers, and dead-node reroutes. It is the gateway
+// analog of service.Telemetry — GatewayCounters stay cumulative for
+// Prometheus, everything here ages out as the window rolls.
+type GatewayTelemetry struct {
+	window time.Duration
+	bucket time.Duration
+
+	route     *telemetry.Window // accepted-submission routing latency (seconds)
+	attempts  *telemetry.Window // dispatch attempts per accepted submission
+	peekHits  *telemetry.Window // 1 per peek fan-out that found the result, else 0
+	retries   *telemetry.Window // brief in-place Retry-After waits honored
+	failovers *telemetry.Window // dispatch attempts abandoned for a ring successor
+	reroutes  *telemetry.Window // dead-node resubmissions
+	shed      *telemetry.Window // submissions rejected cluster-wide
+
+	mu      sync.Mutex
+	perNode map[string]*telemetry.Window // routing latency per accepting node
+}
+
+// NewGatewayTelemetry sizes every window to span in 60 buckets, matching
+// the per-node telemetry cadence so federated documents line up.
+func NewGatewayTelemetry(span time.Duration) *GatewayTelemetry {
+	bucket := span / 60
+	dur := telemetry.DurationBounds()
+	return &GatewayTelemetry{
+		window:    span,
+		bucket:    bucket,
+		route:     telemetry.NewWindow(span, bucket, dur),
+		attempts:  telemetry.NewWindow(span, bucket, telemetry.LinearBounds(8, 8)),
+		peekHits:  telemetry.NewWindow(span, bucket, nil),
+		retries:   telemetry.NewWindow(span, bucket, nil),
+		failovers: telemetry.NewWindow(span, bucket, nil),
+		reroutes:  telemetry.NewWindow(span, bucket, nil),
+		shed:      telemetry.NewWindow(span, bucket, nil),
+		perNode:   map[string]*telemetry.Window{},
+	}
+}
+
+// RecordRoute records one accepted submission: end-to-end routing latency,
+// the node that took it, and how many dispatches it cost.
+func (t *GatewayTelemetry) RecordRoute(now time.Time, node string, d time.Duration, attempts int) {
+	if t == nil {
+		return
+	}
+	t.route.Observe(now, d.Seconds())
+	t.attempts.Observe(now, float64(attempts))
+	t.mu.Lock()
+	w := t.perNode[node]
+	if w == nil {
+		w = telemetry.NewWindow(t.window, t.bucket, telemetry.DurationBounds())
+		t.perNode[node] = w
+	}
+	t.mu.Unlock()
+	w.Observe(now, d.Seconds())
+}
+
+// RecordPeek records the outcome of one sibling-cache peek fan-out; the
+// window mean is then the peek hit rate.
+func (t *GatewayTelemetry) RecordPeek(now time.Time, hit bool) {
+	if t == nil {
+		return
+	}
+	v := 0.0
+	if hit {
+		v = 1
+	}
+	t.peekHits.Observe(now, v)
+}
+
+// RecordRetry counts one brief in-place Retry-After wait.
+func (t *GatewayTelemetry) RecordRetry(now time.Time) {
+	if t == nil {
+		return
+	}
+	t.retries.Observe(now, 1)
+}
+
+// RecordFailover counts one dispatch attempt abandoned for a ring
+// successor.
+func (t *GatewayTelemetry) RecordFailover(now time.Time) {
+	if t == nil {
+		return
+	}
+	t.failovers.Observe(now, 1)
+}
+
+// RecordReroute counts one fingerprint resubmitted after a node death.
+func (t *GatewayTelemetry) RecordReroute(now time.Time) {
+	if t == nil {
+		return
+	}
+	t.reroutes.Observe(now, 1)
+}
+
+// RecordShed counts one submission rejected cluster-wide.
+func (t *GatewayTelemetry) RecordShed(now time.Time) {
+	if t == nil {
+		return
+	}
+	t.shed.Observe(now, 1)
+}
+
+// GatewayWindowStats is the rolling-window half of the gateway metrics
+// document.
+type GatewayWindowStats struct {
+	WindowSec float64 `json:"window_sec"`
+	// Route is the routing-latency distribution of accepted submissions;
+	// RoutePerNode splits it by the node that accepted.
+	Route        telemetry.Stats            `json:"route"`
+	RoutePerNode map[string]telemetry.Stats `json:"route_per_node"`
+	// Attempts is the dispatches-per-accepted-submission distribution
+	// (mean 1 = every owner took its job first try).
+	Attempts telemetry.Stats `json:"attempts"`
+	// PeekHitRate is the fraction of sibling-cache fan-outs that found the
+	// result somewhere; Peeks is the underlying distribution.
+	PeekHitRate float64         `json:"peek_hit_rate"`
+	Peeks       telemetry.Stats `json:"peeks"`
+	Retries     telemetry.Stats `json:"retries"`
+	Failovers   telemetry.Stats `json:"failovers"`
+	Reroutes    telemetry.Stats `json:"reroutes"`
+	Shed        telemetry.Stats `json:"shed"`
+}
+
+// Stats snapshots every window at now.
+func (t *GatewayTelemetry) Stats(now time.Time) GatewayWindowStats {
+	s := GatewayWindowStats{RoutePerNode: map[string]telemetry.Stats{}}
+	if t == nil {
+		return s
+	}
+	s.WindowSec = t.window.Seconds()
+	s.Route = t.route.Stats(now)
+	s.Attempts = t.attempts.Stats(now)
+	s.Peeks = t.peekHits.Stats(now)
+	s.PeekHitRate = s.Peeks.Mean
+	s.Retries = t.retries.Stats(now)
+	s.Failovers = t.failovers.Stats(now)
+	s.Reroutes = t.reroutes.Stats(now)
+	s.Shed = t.shed.Stats(now)
+	t.mu.Lock()
+	for node, w := range t.perNode {
+		s.RoutePerNode[node] = w.Stats(now)
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// GatewayMetrics is the gateway GET /metrics document (?format=json): the
+// cumulative routing counters, the rolling windows, and process health.
+type GatewayMetrics struct {
+	Now      time.Time           `json:"now"`
+	Counters GatewayCounters     `json:"counters"`
+	Window   GatewayWindowStats  `json:"window"`
+	InFlight int                 `json:"in_flight"`
+	Proc     telemetry.ProcStats `json:"proc"`
+}
+
+// Metrics assembles the gateway metrics document.
+func (r *Router) Metrics(now time.Time) GatewayMetrics {
+	return GatewayMetrics{
+		Now:      now,
+		Counters: r.Counters(),
+		Window:   r.tele.Stats(now),
+		InFlight: r.inFlight(),
+		Proc:     telemetry.ReadProc(),
+	}
+}
+
+// Prometheus renders the gateway metrics in the Prometheus text exposition
+// format, every series prefixed advectgw_.
+func (m GatewayMetrics) Prometheus() string {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP advectgw_%s %s\n# TYPE advectgw_%s counter\n", name, help, name)
+		fmt.Fprintf(&b, "advectgw_%s %d\n", name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP advectgw_%s %s\n# TYPE advectgw_%s gauge\n", name, help, name)
+		fmt.Fprintf(&b, "advectgw_%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	counter("submits_total", "Submissions accepted somewhere in the cluster.", m.Counters.Submits)
+	counter("failovers_total", "Submissions that left the owner shard for a ring successor.", m.Counters.Failovers)
+	counter("brief_retries_total", "Short Retry-After hints honored on the owner in place.", m.Counters.BriefRetries)
+	counter("peek_hits_total", "Sibling-cache probes that found the result.", m.Counters.PeekHits)
+	counter("seeds_total", "Results replicated onto the owner after a peek hit.", m.Counters.Seeds)
+	counter("reroutes_total", "Fingerprints re-submitted after a node death.", m.Counters.Reroutes)
+	counter("deduped_total", "Dead-node jobs aliased onto an in-flight twin.", m.Counters.Deduped)
+	counter("shed_total", "Submissions rejected cluster-wide.", m.Counters.Shed)
+	gauge("in_flight_jobs", "Accepted jobs not yet observed terminal.", float64(m.InFlight))
+
+	fmt.Fprintf(&b, "# HELP advectgw_route_latency_seconds Routing latency of accepted submissions over the window.\n")
+	fmt.Fprintf(&b, "# TYPE advectgw_route_latency_seconds gauge\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", m.Window.Route.P50}, {"0.95", m.Window.Route.P95}, {"0.99", m.Window.Route.P99}} {
+		fmt.Fprintf(&b, "advectgw_route_latency_seconds{quantile=%q} %s\n",
+			q.label, strconv.FormatFloat(q.v, 'g', -1, 64))
+	}
+	gauge("routes_per_sec", "Accepted submissions per second over the window.", m.Window.Route.PerSec)
+	gauge("route_attempts_mean", "Mean dispatch attempts per accepted submission over the window.", m.Window.Attempts.Mean)
+	gauge("peek_hit_rate", "Fraction of sibling-cache fan-outs that hit over the window.", m.Window.PeekHitRate)
+	gauge("retries_per_sec", "Brief in-place retries per second over the window.", m.Window.Retries.PerSec)
+	gauge("failovers_per_sec", "Failovers per second over the window.", m.Window.Failovers.PerSec)
+	gauge("reroutes_per_sec", "Dead-node reroutes per second over the window.", m.Window.Reroutes.PerSec)
+
+	fmt.Fprintf(&b, "# HELP advectgw_node_route_p99_seconds Per-node p99 routing latency over the window.\n")
+	fmt.Fprintf(&b, "# TYPE advectgw_node_route_p99_seconds gauge\n")
+	nodes := make([]string, 0, len(m.Window.RoutePerNode))
+	for node := range m.Window.RoutePerNode {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		fmt.Fprintf(&b, "advectgw_node_route_p99_seconds{node=%q} %s\n",
+			node, strconv.FormatFloat(m.Window.RoutePerNode[node].P99, 'g', -1, 64))
+	}
+	m.Proc.WriteProm(&b, "advectgw")
+	return b.String()
+}

@@ -38,39 +38,94 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	return WriteChromeTrace(w, r.Spans())
 }
 
-// WriteChromeTrace writes a span set as Chrome trace-event JSON.
+// WriteChromeTrace writes a span set as Chrome trace-event JSON. Each
+// (node, rank) pair becomes one trace process: spans with an empty node
+// (single-process traces) keep pid == rank, while node-attributed spans
+// from a cross-process merge get a disjoint pid block per node so a
+// cluster trace keeps every node's tracks apart on the shared timeline.
 func WriteChromeTrace(w io.Writer, spans []Span) error {
 	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
 
-	type track struct{ rank, tid int }
-	ranks := map[int]bool{}
+	type proc struct {
+		node string
+		rank int
+	}
+	type track struct {
+		p   proc
+		tid int
+	}
+	procs := map[proc]bool{}
 	tracks := map[track]Phase{}
 	for _, s := range spans {
-		ranks[s.Rank] = true
-		tracks[track{s.Rank, int(s.Phase)}] = s.Phase
+		p := proc{s.Node, s.Rank}
+		procs[p] = true
+		tracks[track{p, int(s.Phase)}] = s.Phase
 	}
-	rankList := make([]int, 0, len(ranks))
-	for r := range ranks {
-		rankList = append(rankList, r)
-	}
-	sort.Ints(rankList)
-	for _, r := range rankList {
-		name := "rank " + strconv.Itoa(r)
-		if r == RankService {
-			name = "service"
+
+	procList := make([]proc, 0, len(procs))
+	nodeSet := map[string]bool{}
+	for p := range procs {
+		procList = append(procList, p)
+		if p.node != "" {
+			nodeSet[p.node] = true
 		}
+	}
+	sort.Slice(procList, func(i, j int) bool {
+		if procList[i].node != procList[j].node {
+			return procList[i].node < procList[j].node
+		}
+		return procList[i].rank < procList[j].rank
+	})
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	nodeBase := map[string]int{}
+	for i, n := range nodes {
+		nodeBase[n] = 1000 * (i + 1)
+	}
+	// pid: the legacy identity mapping for local spans; a per-node block
+	// (1000, 2000, ...) with headroom for the synthetic negative ranks
+	// for node-attributed spans.
+	pid := func(p proc) int {
+		if p.node == "" {
+			return p.rank
+		}
+		return nodeBase[p.node] + p.rank + 8
+	}
+	procName := func(p proc) string {
+		var name string
+		switch p.rank {
+		case RankGateway:
+			name = "gateway"
+		case RankService:
+			name = "service"
+		default:
+			name = "rank " + strconv.Itoa(p.rank)
+		}
+		if p.node != "" {
+			name = p.node + " " + name
+		}
+		return name
+	}
+	for _, p := range procList {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
-			Name: "process_name", Ph: "M", PID: r,
-			Args: map[string]any{"name": name},
+			Name: "process_name", Ph: "M", PID: pid(p),
+			Args: map[string]any{"name": procName(p)},
 		})
 	}
+
 	trackList := make([]track, 0, len(tracks))
 	for t := range tracks {
 		trackList = append(trackList, t)
 	}
 	sort.Slice(trackList, func(i, j int) bool {
-		if trackList[i].rank != trackList[j].rank {
-			return trackList[i].rank < trackList[j].rank
+		if trackList[i].p.node != trackList[j].p.node {
+			return trackList[i].p.node < trackList[j].p.node
+		}
+		if trackList[i].p.rank != trackList[j].p.rank {
+			return trackList[i].p.rank < trackList[j].p.rank
 		}
 		return trackList[i].tid < trackList[j].tid
 	})
@@ -78,11 +133,11 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		ph := tracks[t]
 		doc.TraceEvents = append(doc.TraceEvents,
 			chromeEvent{
-				Name: "thread_name", Ph: "M", PID: t.rank, TID: t.tid,
+				Name: "thread_name", Ph: "M", PID: pid(t.p), TID: t.tid,
 				Args: map[string]any{"name": ph.String() + " [" + ph.Base().String() + "]"},
 			},
 			chromeEvent{
-				Name: "thread_sort_index", Ph: "M", PID: t.rank, TID: t.tid,
+				Name: "thread_sort_index", Ph: "M", PID: pid(t.p), TID: t.tid,
 				Args: map[string]any{"sort_index": t.tid},
 			})
 	}
@@ -98,7 +153,7 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 			Ph:   "X",
 			TS:   s.Start * 1e6,
 			Dur:  (s.End - s.Start) * 1e6,
-			PID:  s.Rank,
+			PID:  pid(proc{s.Node, s.Rank}),
 			TID:  int(s.Phase),
 		}
 		if s.Step >= 0 {

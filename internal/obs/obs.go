@@ -95,6 +95,32 @@ const (
 	// PhaseResultEncode is rendering the result document.
 	PhaseResultEncode
 
+	// The gw.* phases are the advectgw routing lifecycle, recorded on the
+	// synthetic gateway rank (RankGateway) and shipped to the owning node
+	// inside the X-Advect-Trace context, so the stitched export shows the
+	// routing decision, cross-node hops, and any failover ahead of the
+	// service and runner tracks.
+
+	// PhaseGWRoute is the ring lookup and member-state walk picking a node.
+	PhaseGWRoute
+	// PhaseGWPeek is the sibling cache peek fan-out (and owner seed).
+	PhaseGWPeek
+	// PhaseGWSubmit is dispatching the submission to one node (the label
+	// names the node; one span per attempt).
+	PhaseGWSubmit
+	// PhaseGWRetry is honoring a brief Retry-After in place at the owner.
+	PhaseGWRetry
+	// PhaseGWFailover is abandoning a shedding/unreachable node for the
+	// next ring successor (the label names the abandoned node).
+	PhaseGWFailover
+	// PhaseGWResubmit is re-submitting a dead node's in-flight job to a
+	// survivor (the label names the dead node).
+	PhaseGWResubmit
+	// PhaseGWHandoff is the gateway->node hop: from the last span the
+	// gateway recorded before dispatch to the receiving node's epoch. Its
+	// label carries the measured gateway/node clock offset.
+	PhaseGWHandoff
+
 	numPhases
 )
 
@@ -102,6 +128,10 @@ const (
 // keeping the request lifecycle on its own track, separate from the
 // simulation ranks (which are always >= 0).
 const RankService = -1
+
+// RankGateway is the synthetic rank gateway-side spans are recorded under,
+// one track above the service rank.
+const RankGateway = -2
 
 var phaseNames = [numPhases]string{
 	PhaseInterior:     "compute.interior",
@@ -123,6 +153,23 @@ var phaseNames = [numPhases]string{
 	PhaseCacheLookup:  "svc.cache",
 	PhaseWorkerExec:   "svc.exec",
 	PhaseResultEncode: "svc.encode",
+	PhaseGWRoute:      "gw.route",
+	PhaseGWPeek:       "gw.peek",
+	PhaseGWSubmit:     "gw.submit",
+	PhaseGWRetry:      "gw.retry",
+	PhaseGWFailover:   "gw.failover",
+	PhaseGWResubmit:   "gw.resubmit",
+	PhaseGWHandoff:    "gw.handoff",
+}
+
+// AllPhases lists every defined phase in declaration order — the span
+// vocabulary, for docs and exhaustive tests.
+func AllPhases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
 }
 
 func (p Phase) String() string {
@@ -145,12 +192,16 @@ func (p Phase) Base() Base {
 // Span is one recorded interval. Start and End are seconds: since the
 // recorder's epoch for wall phases, virtual device time for sim phases.
 // Step is the timestep that produced the span, or -1 when not attributable
-// to a single step (device-side spans, post-loop collectives).
+// to a single step (device-side spans, post-loop collectives). Node is
+// empty for spans recorded by the local process; a cross-process merge
+// (trace-context import, dead-node span harvest) stamps it with the
+// originating node's id so the export keeps each node's tracks apart.
 type Span struct {
 	Rank  int     `json:"rank"`
 	Step  int     `json:"step"`
 	Phase Phase   `json:"phase"`
 	Label string  `json:"label,omitempty"`
+	Node  string  `json:"node,omitempty"`
 	Start float64 `json:"start"`
 	End   float64 `json:"end"`
 }
@@ -170,6 +221,15 @@ func NewRecorder() *Recorder {
 
 // Enabled reports whether spans will actually be kept.
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// Epoch returns the instant the recorder's wall clock started (zero time
+// if disabled). Cross-process span merges use it to compute clock offsets.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
 
 // Clock returns seconds elapsed since the recorder's epoch (0 if disabled).
 // Use it to timestamp a window whose span is emitted later via Add.
@@ -237,8 +297,9 @@ func (r *Recorder) Len() int {
 	return len(r.spans)
 }
 
-// Spans returns a copy of all recorded spans ordered by (rank, phase,
-// start). Safe to call while recording continues.
+// Spans returns a copy of all recorded spans ordered by (node, rank,
+// phase, start); locally recorded spans (empty node) sort first. Safe to
+// call while recording continues.
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
@@ -248,6 +309,9 @@ func (r *Recorder) Spans() []Span {
 	copy(out, r.spans)
 	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
 		if out[i].Rank != out[j].Rank {
 			return out[i].Rank < out[j].Rank
 		}

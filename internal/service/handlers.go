@@ -28,6 +28,7 @@ type errorDoc struct {
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result document (202 while pending)
 //	GET    /v1/jobs/{id}/trace  stitched Chrome trace of a traced job
+//	GET    /v1/jobs/{id}/spans  raw span log as a trace context (cluster harvest)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/stats            rolling-window telemetry (last N seconds)
 //	GET    /v1/stream           live SSE stream of job events and stats
@@ -46,6 +47,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/stream", s.handleStream)
@@ -74,7 +76,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "bad request body: " + err.Error()})
 		return
 	}
-	j, err := s.Submit(req)
+	// A malformed trace context never fails the submission — tracing is
+	// best-effort observability, so the job proceeds untraced-from-upstream.
+	tc, terr := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader))
+	if terr != nil {
+		s.log.Warn("ignoring malformed trace context", "error", terr)
+	}
+	j, err := s.SubmitTraced(req, tc)
 	switch {
 	case err == nil:
 		status := http.StatusAccepted
@@ -292,9 +300,40 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	spans := rec.Spans()
+	// Inside a cluster, attribute this node's own spans so the export
+	// keeps them apart from imported gateway spans and any spans harvested
+	// from a prior owner. Gateway spans stay node-less: there is one
+	// gateway timeline regardless of which node serves the trace.
+	if s.cfg.NodeID != "" {
+		for i := range spans {
+			if spans[i].Node == "" && spans[i].Rank != obs.RankGateway {
+				spans[i].Node = s.cfg.NodeID
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_ = rec.WriteChromeTrace(w)
+	_ = obs.WriteChromeTrace(w, spans)
+}
+
+// handleSpans serves a traced job's raw span log as a wire trace context
+// (sender epoch + spans). This is the cluster harvest surface: when a node
+// dies mid-job, the gateway pulls whatever the old owner recorded — if it
+// is still answering — and folds it into the resubmission's context, so
+// the final trace shows both the lost attempt and the rerun.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	rec := j.Trace()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "job has no trace"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.TraceContext(j.TraceID()))
 }
 
 // handleStats serves the rolling-window telemetry document.

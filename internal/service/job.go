@@ -308,6 +308,10 @@ type Job struct {
 	rec *obs.Recorder
 	// queuedAt is rec's clock reading when the job entered the queue.
 	queuedAt float64
+	// traceID is the cluster-wide trace id this job belongs to: the one a
+	// gateway minted and propagated on the X-Advect-Trace header, or ""
+	// for direct submissions. Set once at submit; read without the mutex.
+	traceID string
 }
 
 // newJob builds a queued job whose context descends from base. Traced
@@ -327,6 +331,10 @@ func newJob(id string, req Request, base context.Context, now time.Time) *Job {
 // Trace returns the job's span recorder (nil for untraced jobs and jobs
 // answered from the result cache).
 func (j *Job) Trace() *obs.Recorder { return j.rec }
+
+// TraceID returns the propagated cluster-wide trace id ("" for direct
+// submissions).
+func (j *Job) TraceID() string { return j.traceID }
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
@@ -417,6 +425,7 @@ type View struct {
 	Finished  *time.Time `json:"finished,omitempty"`
 	CacheKey  string     `json:"cache_key"`
 	CacheHit  bool       `json:"cache_hit"`
+	TraceID   string     `json:"trace_id,omitempty"`
 	Error     string     `json:"error,omitempty"`
 	Request   Request    `json:"request"`
 }
@@ -428,7 +437,7 @@ func (j *Job) View() View {
 	v := View{
 		ID: j.id, Type: j.req.Type, State: j.state,
 		Submitted: j.submitted, CacheKey: j.cacheKey, CacheHit: j.cacheHit,
-		Error: j.errMsg, Request: j.req,
+		TraceID: j.traceID, Error: j.errMsg, Request: j.req,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. Predict jobs
@@ -155,6 +157,7 @@ type Snapshot struct {
 	Jobs      map[string]map[string]uint64 `json:"jobs"`
 	Latency   map[string]HistogramSnapshot `json:"latency_sec"`
 	Cache     CacheStats                   `json:"cache"`
+	Proc      telemetry.ProcStats          `json:"proc"`
 }
 
 // Snapshot assembles the document from the registry and the live gauges.
@@ -226,6 +229,7 @@ func (s Snapshot) Prometheus() string {
 			strconv.FormatFloat(h.Sum, 'g', -1, 64))
 		fmt.Fprintf(&b, "advectd_job_duration_seconds_count{type=%q} %d\n", t, h.Count)
 	}
+	s.Proc.WriteProm(&b, "advectd")
 	return b.String()
 }
 

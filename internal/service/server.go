@@ -126,6 +126,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // when possible. It returns the job and, on rejection, a non-nil error:
 // ErrQueueFull (429) or ErrDraining (503).
 func (s *Server) Submit(req Request) (*Job, error) {
+	return s.SubmitTraced(req, nil)
+}
+
+// SubmitTraced is Submit carrying an optional upstream trace context (the
+// decoded X-Advect-Trace header): a traced job's recorder absorbs the
+// sender's span log — rebased onto this job's epoch, with the hop
+// annotated — so the stitched export spans gateway routing and the local
+// lifecycle on one timeline. A nil context is a plain submission.
+func (s *Server) SubmitTraced(req Request, tc *obs.TraceContext) (*Job, error) {
 	if err := req.Validate(s.cfg.Limits); err != nil {
 		return nil, &RequestError{Err: err}
 	}
@@ -136,6 +145,10 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	}
 	now := time.Now()
 	j := newJob(s.store.NewID(), req, s.baseCtx, now)
+	if tc != nil && j.rec != nil {
+		j.traceID = tc.TraceID
+		j.rec.Import(tc)
+	}
 	lookup := j.rec.Begin(obs.RankService, -1, obs.PhaseCacheLookup, "")
 	doc, hit := s.cache.Get(j.cacheKey)
 	lookup.End()
@@ -250,14 +263,17 @@ func (s *Server) RetryAfter() time.Duration {
 	return wait
 }
 
-// MetricsSnapshot assembles the current metrics document.
+// MetricsSnapshot assembles the current metrics document, including a
+// fresh process-health reading.
 func (s *Server) MetricsSnapshot() Snapshot {
-	return s.metrics.Snapshot(
+	snap := s.metrics.Snapshot(
 		time.Now(),
 		QueueGauges{Depth: s.queue.Depth(), Capacity: s.queue.Cap()},
 		WorkerGauges{Busy: s.pool.Busy(), Total: s.pool.Workers()},
 		s.cache.Stats(),
 	)
+	snap.Proc = telemetry.ReadProc()
+	return snap
 }
 
 // StatsSnapshot assembles the rolling-window telemetry document.

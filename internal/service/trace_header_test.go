@@ -1,0 +1,144 @@
+package service
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The node boundary's acceptance contract for X-Advect-Trace: a valid
+// context stitches the sender's spans into the job's trace; anything
+// malformed degrades to an untraced-from-upstream submission — tracing is
+// best-effort observability and never a reason to reject work.
+
+// postJobWithHeader is postJob with an X-Advect-Trace value attached.
+func postJobWithHeader(t *testing.T, ts *httptest.Server, body, trace string) (*http.Response, View) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode job view: %v", err)
+		}
+	}
+	return resp, v
+}
+
+func TestTraceHeaderPropagates(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// Build the header the way the gateway does: a recorder with one
+	// gateway-rank span, snapshotted under a minted id.
+	rec := obs.NewRecorder()
+	rec.Add(obs.RankGateway, -1, obs.PhaseGWRoute, "n1", 0, 0.001)
+	id := obs.NewTraceID()
+	header := rec.TraceContext(id).Encode()
+
+	body := `{"type":"simulate","simulate":{"kind":"bulk","n":16,"steps":2,"tasks":2,"trace":true}}`
+	resp, v := postJobWithHeader(t, ts, body, header)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	if v.TraceID != id {
+		t.Fatalf("view trace_id %q, want the propagated %q", v.TraceID, id)
+	}
+	waitState(t, ts, v.ID, StateDone)
+
+	// The spans doc carries the propagated id and the imported gateway
+	// span plus the handoff bridging the hop.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("spans status %d", sresp.StatusCode)
+	}
+	var c obs.TraceContext
+	if err := json.NewDecoder(sresp.Body).Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c.TraceID != id {
+		t.Errorf("spans trace_id %q, want %q", c.TraceID, id)
+	}
+	var sawRoute, sawHandoff bool
+	for _, s := range c.Spans {
+		sawRoute = sawRoute || s.Phase == obs.PhaseGWRoute
+		sawHandoff = sawHandoff || s.Phase == obs.PhaseGWHandoff
+	}
+	if !sawRoute || !sawHandoff {
+		t.Errorf("imported gateway spans missing: route=%v handoff=%v", sawRoute, sawHandoff)
+	}
+}
+
+func TestTraceHeaderMalformedFallsBack(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	valid := obs.NewRecorder().TraceContext("t").Encode()
+	cases := map[string]string{
+		"not base64":       "!!!not-base64url!!!",
+		"not json":         "bm90LWpzb24", // base64url("not-json")
+		"missing trace_id": encodeJSON(t, map[string]any{"epoch_ns": 1}),
+		"missing epoch_ns": encodeJSON(t, map[string]any{"trace_id": "abc"}),
+		"oversized":        valid + strings.Repeat("A", 96<<10),
+	}
+	steps := 1
+	for name, header := range cases {
+		// Distinct problems per case: an identical body would be served
+		// from the result cache (200, no fresh admission) after the first.
+		steps++
+		body := fmt.Sprintf(`{"type":"simulate","simulate":{"kind":"bulk","n":16,"steps":%d,"tasks":2,"trace":true}}`, steps)
+		t.Run(name, func(t *testing.T) {
+			resp, v := postJobWithHeader(t, ts, body, header)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("status %d, want 202 — malformed trace must not reject the job", resp.StatusCode)
+			}
+			if v.TraceID != "" {
+				t.Errorf("view trace_id %q, want empty on malformed context", v.TraceID)
+			}
+			waitState(t, ts, v.ID, StateDone)
+		})
+	}
+}
+
+func TestTraceHeaderAbsentUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"type":"simulate","simulate":{"kind":"bulk","n":16,"steps":2,"tasks":2,"trace":true}}`
+	resp, v := postJobWithHeader(t, ts, body, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	if v.TraceID != "" {
+		t.Errorf("view trace_id %q, want empty without an upstream context", v.TraceID)
+	}
+	waitState(t, ts, v.ID, StateDone)
+}
+
+// encodeJSON renders a value as an unpadded base64url JSON header the way
+// Encode does, for hand-built malformed contexts.
+func encodeJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base64.RawURLEncoding.EncodeToString(b)
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestReadProcSaneValues(t *testing.T) {
+	runtime.GC() // guarantee at least one pause event
+	p := ReadProc()
+	if p.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", p.Goroutines)
+	}
+	if p.HeapBytes == 0 {
+		t.Error("heap_bytes = 0, want > 0")
+	}
+	if p.GCPauses == 0 {
+		t.Error("gc_pauses = 0 after an explicit runtime.GC()")
+	}
+	if p.GCPauseP99Sec < 0 || p.GCPauseP99Sec > 10 {
+		t.Errorf("gc_pause_p99_sec = %v, want a plausible pause", p.GCPauseP99Sec)
+	}
+}
+
+func TestProcStatsWriteProm(t *testing.T) {
+	p := ProcStats{Goroutines: 7, HeapBytes: 1 << 20, GCPauses: 3, GCPauseP99Sec: 0.001}
+	var b strings.Builder
+	p.WriteProm(&b, "advectgw")
+	out := b.String()
+	for _, want := range []string{
+		"advectgw_go_goroutines 7",
+		"advectgw_go_heap_bytes 1.048576e+06",
+		"advectgw_go_gc_pauses_total 3",
+		"advectgw_go_gc_pause_p99_seconds 0.001",
+		"# TYPE advectgw_go_goroutines gauge",
+		"# TYPE advectgw_go_gc_pauses_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{90, 9, 1},
+		Buckets: []float64{0, 0.001, 0.01, 0.1},
+	}
+	total, q99 := histQuantile(h, 0.99)
+	if total != 100 {
+		t.Fatalf("total = %d, want 100", total)
+	}
+	if q99 != 0.01 {
+		t.Fatalf("p99 = %v, want 0.01 (bucket upper bound)", q99)
+	}
+	if n, q := histQuantile(&metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}, 0.99); n != 0 || q != 0 {
+		t.Fatalf("empty histogram: got (%d, %v)", n, q)
+	}
+}
