@@ -58,6 +58,21 @@ awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
     if (ns + 0 > max + 0) { printf "disabled-telemetry path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
 }'
 
+# Disabled-flight-recorder overhead guard: with -flight negative a nil
+# *flight.Recorder and *flight.Engine ride every job and log line; the
+# whole disabled surface (Add/Job/ObserveJob/ObserveShed/Sweep) must stay
+# allocation-free (test-asserted) and under the ns/op bound recorded in
+# BENCH_flight.json.
+go test -run TestFlightDisabledAllocatesNothing -count=1 ./internal/flight
+max_ns=$(sed -n 's/.*"disabled_max_ns_per_op": *\([0-9.]*\).*/\1/p' BENCH_flight.json)
+bench_out=$(go test -run '^$' -bench BenchmarkFlightDisabled -benchtime 1000000x ./internal/flight)
+echo "$bench_out"
+ns=$(echo "$bench_out" | awk '/^BenchmarkFlightDisabled/ {print $3}')
+awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
+    if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
+    if (ns + 0 > max + 0) { printf "disabled-flight path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
+}'
+
 # Cluster crash-safety gate: a 3-node cluster must survive losing a node
 # mid-run (every accepted job completes exactly once, fingerprint-deduped)
 # and drain one gracefully (no shed, in-flight work finishes in place),

@@ -27,6 +27,13 @@
 // The daemon logs structured job-lifecycle events (log/slog, logfmt text
 // or JSON with -logjson) to stderr, and -pprof exposes the Go profiling
 // endpoints under /debug/pprof/.
+//
+// An always-on flight recorder (-flight sizes its ring) retains the last
+// N job/span/stats/log events and watches for anomalies — latency spikes,
+// shed bursts, stragglers, and model-vs-measured overlap drift beyond
+// -drift against the -model machine. GET /v1/debug/bundle exports the
+// postmortem: flight ring, frozen anomaly snapshots, stats, profiles, and
+// build info in one JSON document.
 package main
 
 import (
@@ -42,24 +49,29 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 2, "worker pool size (concurrent jobs)")
-		queue    = flag.Int("queue", 16, "admission queue capacity (full queue returns 429)")
-		cache    = flag.Int("cache", 256, "result cache entries (LRU)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
-		maxN     = flag.Int("maxn", 0, "largest grid points per dimension a simulate job may request (0 = default)")
-		maxStep  = flag.Int("maxsteps", 0, "largest timestep count a simulate job may request (0 = default)")
-		pprofOn  = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
-		logJSON  = flag.Bool("logjson", false, "emit logs as JSON instead of logfmt text")
-		logLevel = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
-		window   = flag.Duration("window", 60*time.Second, "rolling telemetry window for /v1/stats and /v1/stream")
-		stream   = flag.Duration("stream", time.Second, "default stats cadence on /v1/stream (per-request ?interval= overrides)")
-		nodeID   = flag.String("node", "", "cluster node id: prefixes job ids and labels /healthz and /v1/stats (empty = standalone)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 2, "worker pool size (concurrent jobs)")
+		queue     = flag.Int("queue", 16, "admission queue capacity (full queue returns 429)")
+		cache     = flag.Int("cache", 256, "result cache entries (LRU)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		maxN      = flag.Int("maxn", 0, "largest grid points per dimension a simulate job may request (0 = default)")
+		maxStep   = flag.Int("maxsteps", 0, "largest timestep count a simulate job may request (0 = default)")
+		pprofOn   = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
+		logJSON   = flag.Bool("logjson", false, "emit logs as JSON instead of logfmt text")
+		logLevel  = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
+		window    = flag.Duration("window", 60*time.Second, "rolling telemetry window for /v1/stats and /v1/stream")
+		stream    = flag.Duration("stream", time.Second, "default stats cadence on /v1/stream (per-request ?interval= overrides)")
+		nodeID    = flag.String("node", "", "cluster node id: prefixes job ids and labels /healthz and /v1/stats (empty = standalone)")
+		flightN   = flag.Int("flight", 0, "flight-recorder ring size in events for /v1/debug/bundle (0 = default, negative = disabled)")
+		drift     = flag.Float64("drift", 0, "model-vs-measured overlap drift tolerance before an anomaly fires (0 = default)")
+		model     = flag.String("model", "", "machine model the anomaly engine predicts against (empty = default)")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE keep-alive comment cadence on idle /v1/stream connections")
 	)
 	flag.Parse()
 
@@ -87,7 +99,10 @@ func main() {
 		DrainTimeout: *drain, Limits: lim,
 		Logger: logger, EnablePprof: *pprofOn,
 		StatsWindow: *window, StreamInterval: *stream,
-		NodeID: *nodeID,
+		NodeID:            *nodeID,
+		FlightEvents:      *flightN,
+		FlightRules:       flight.Rules{DriftTolerance: *drift, ModelMachine: *model},
+		HeartbeatInterval: *heartbeat,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

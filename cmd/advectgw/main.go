@@ -80,6 +80,7 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof")
 		logJSON   = flag.Bool("logjson", false, "emit logs as JSON instead of logfmt text")
 		logLevel  = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE keep-alive comment cadence on idle /v1/stream connections")
 	)
 	flag.Parse()
 
@@ -134,6 +135,9 @@ func main() {
 		StatsWindow:    *window,
 		EnablePprof:    *pprofOn,
 		Logger:         logger,
+
+		// SSE comment-line keep-alive on idle federated streams.
+		HeartbeatInterval: *heartbeat,
 	})
 	runCtx, stopRun := context.WithCancel(context.Background())
 	router.Start(runCtx)

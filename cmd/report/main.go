@@ -13,8 +13,12 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/stats"
 )
 
@@ -127,6 +131,29 @@ func main() {
 	fmt.Fprintln(w, "(bounded in CI by `BENCH_cluster.json`). See README \"Running a cluster\".")
 	fmt.Fprintln(w)
 
+	fmt.Fprintln(w, "## Model-vs-measured drift")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Each overlap kind's analytic expectation doubles as a production")
+	fmt.Fprintln(w, "alarm. `perf.ExpectedHiddenFraction` predicts the share of the")
+	fmt.Fprintln(w, "bulk-synchronous exchange cost an overlap schedule should hide —")
+	fmt.Fprintln(w, "the step time saved over the kind's §IV counterpart, as a fraction")
+	fmt.Fprintln(w, "of the counterpart's exchange components — and every traced run")
+	fmt.Fprintln(w, "measures the same quantity as the mpi/compute pair of its overlap")
+	fmt.Fprintln(w, "report. The daemon's anomaly engine (`internal/flight`) compares the")
+	fmt.Fprintln(w, "two per finished job and fires a `model-drift` anomaly — freezing a")
+	fmt.Fprintln(w, "flight-recorder snapshot for `GET /v1/debug/bundle` — when the gap")
+	fmt.Fprintln(w, "leaves the tolerance band (default 0.35, `-drift` on `advectd`).")
+	fmt.Fprintln(w, "Predicted hidden fractions on Yona, 48³ points per task:")
+	fmt.Fprintln(w)
+	writeMarkdown(w, driftTable())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "A bulk-synchronous kind is its own counterpart and is predicted to")
+	fmt.Fprintln(w, "hide nothing, so a deployment that expects `hybrid-overlap` but is")
+	fmt.Fprintln(w, "handed bulk-sync runs drifts by the full predicted fraction and")
+	fmt.Fprintln(w, "alarms immediately (this exact scenario is the end-to-end test in")
+	fmt.Fprintln(w, "`internal/cluster`).")
+	fmt.Fprintln(w)
+
 	fmt.Fprintln(w, "## Tracing across the cluster")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "A traced submission through the gateway yields one Chrome trace that")
@@ -152,6 +179,36 @@ func main() {
 	fmt.Fprintln(w, "handoff). Wall-clock spans are rebased across processes; sim-clock")
 	fmt.Fprintln(w, "spans carry the simulated device's virtual time and are never")
 	fmt.Fprintln(w, "conflated with it.")
+}
+
+// driftTable tabulates the model-side hidden-communication expectation
+// per overlap kind and core count — the baseline the flight recorder's
+// drift rule holds measured runs against.
+func driftTable() stats.Table {
+	cores := []int{2, 12, 24, 96}
+	t := stats.Table{Header: []string{"kind"}}
+	for _, c := range cores {
+		t.Header = append(t.Header, fmt.Sprintf("%d cores", c))
+	}
+	m, err := machine.ByName("Yona")
+	if err != nil {
+		return t
+	}
+	for _, k := range []core.Kind{core.NonblockingOverlap, core.ThreadedOverlap, core.GPUStreams, core.HybridOverlap} {
+		row := []string{k.String()}
+		for _, c := range cores {
+			f, err := perf.ExpectedHiddenFraction(perf.Config{
+				M: m, Kind: k, Cores: c, Threads: 1, N: grid.Uniform(48),
+			})
+			if err != nil {
+				row = append(row, "—")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", f))
+		}
+		t.AddRow(row...)
+	}
+	return t
 }
 
 // writeMarkdown renders a stats.Table as a Markdown table.

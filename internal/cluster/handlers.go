@@ -41,6 +41,7 @@ type errorDoc struct {
 //	GET    /v1/cluster            membership, ring, and routing counters
 //	POST   /v1/nodes              join a new node ({"id": ..., "url": ...})
 //	POST   /v1/nodes/{id}/drain   drain one node and rebalance its shard
+//	GET    /v1/debug/bundle       cluster postmortem (every node's bundle, node-stamped)
 //	GET    /metrics               gateway Prometheus exposition (?format=json)
 //	GET    /healthz               gateway liveness (503 with no routable nodes)
 func (r *Router) routes() *http.ServeMux {
@@ -59,6 +60,7 @@ func (r *Router) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/cluster", r.handleCluster)
 	mux.HandleFunc("POST /v1/nodes", r.handleNodeJoin)
 	mux.HandleFunc("POST /v1/nodes/{id}/drain", r.handleNodeDrain)
+	mux.HandleFunc("GET /v1/debug/bundle", r.handleBundle)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	if r.cfg.EnablePprof {
@@ -317,6 +319,10 @@ func (r *Router) handleStream(w http.ResponseWriter, req *http.Request) {
 
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	// Heartbeats are SSE comment lines (leading ':'), ignored by clients
+	// per spec; they keep idle federated streams alive through proxies.
+	hb := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer hb.Stop()
 	for {
 		select {
 		case <-req.Context().Done():
@@ -331,6 +337,11 @@ func (r *Router) handleStream(w http.ResponseWriter, req *http.Request) {
 			fl.Flush()
 		case <-tick.C:
 			if !writeCluster() {
+				return
+			}
+			fl.Flush()
+		case <-hb.C:
+			if _, err := w.Write([]byte(": heartbeat\n\n")); err != nil {
 				return
 			}
 			fl.Flush()

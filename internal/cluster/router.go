@@ -41,6 +41,9 @@ type Config struct {
 	// StreamInterval is the cadence of merged cluster-stats events on the
 	// federated SSE stream. Default 1s.
 	StreamInterval time.Duration
+	// HeartbeatInterval is the cadence of ": heartbeat" SSE comment lines
+	// on idle federated streams (mirrors the per-node setting). Default 15s.
+	HeartbeatInterval time.Duration
 	// StatsWindow spans the gateway's rolling telemetry windows (route
 	// latency, peek hit rate, failovers). Default 60s.
 	StatsWindow time.Duration
@@ -66,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamInterval <= 0 {
 		c.StreamInterval = time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 15 * time.Second
 	}
 	if c.StatsWindow <= 0 {
 		c.StatsWindow = 60 * time.Second
@@ -315,8 +321,8 @@ func (r *Router) routeBody(ctx context.Context, fp string, body []byte, tr *subm
 				if ctx.Err() != nil {
 					return nil, "", ctx.Err()
 				}
-				r.log.Warn("submit forward failed", "node", nodeID,
-					"attempt", attempts, "error", err)
+				r.log.Warn("submit forward failed", traceArgs(tr, "node", nodeID,
+					"attempt", attempts, "error", err)...)
 				r.members.ReportFailure(nodeID, err.Error(), time.Now())
 				tr.add(obs.PhaseGWFailover, nodeID, preSend, tr.clock())
 				r.tele.RecordFailover(time.Now())
@@ -327,8 +333,8 @@ func (r *Router) routeBody(ctx context.Context, fp string, body []byte, tr *subm
 				r.recordAccepted(res, nodeID, fp, body, attempt > 0, tr)
 				now := time.Now()
 				r.tele.RecordRoute(now, nodeID, now.Sub(started), attempts)
-				r.log.Info("job routed", "node", nodeID, "attempt", attempts,
-					"job", res.View.ID, "failover", attempt > 0)
+				r.log.Info("job routed", traceArgs(tr, "node", nodeID, "attempt", attempts,
+					"job", res.View.ID, "failover", attempt > 0)...)
 				return res, nodeID, nil
 			case http.StatusBadRequest:
 				return nil, "", &badRequest{Body: res.Body}
@@ -351,8 +357,8 @@ func (r *Router) routeBody(ctx context.Context, fp string, body []byte, tr *subm
 					tr.add(obs.PhaseGWRetry, nodeID, waitStart, dispatchFrom)
 					continue
 				}
-				r.log.Info("shard shed, failing over", "node", nodeID,
-					"attempt", attempts, "retry_after", res.RetryAfter)
+				r.log.Info("shard shed, failing over", traceArgs(tr, "node", nodeID,
+					"attempt", attempts, "retry_after", res.RetryAfter)...)
 				tr.add(obs.PhaseGWFailover, nodeID, preSend, tr.clock())
 				r.tele.RecordFailover(time.Now())
 			case http.StatusServiceUnavailable:
@@ -361,13 +367,13 @@ func (r *Router) routeBody(ctx context.Context, fp string, body []byte, tr *subm
 				if r.members.ReportDraining(nodeID, time.Now()) {
 					r.rebuildRing()
 					r.log.Info("node draining (learned from 503)",
-						"node", nodeID, "attempt", attempts)
+						traceArgs(tr, "node", nodeID, "attempt", attempts)...)
 				}
 				tr.add(obs.PhaseGWFailover, nodeID, preSend, tr.clock())
 				r.tele.RecordFailover(time.Now())
 			default:
-				r.log.Warn("unexpected submit status", "node", nodeID,
-					"attempt", attempts, "status", res.Status)
+				r.log.Warn("unexpected submit status", traceArgs(tr, "node", nodeID,
+					"attempt", attempts, "status", res.Status)...)
 				tr.add(obs.PhaseGWFailover, nodeID, preSend, tr.clock())
 				r.tele.RecordFailover(time.Now())
 			}
@@ -376,8 +382,8 @@ func (r *Router) routeBody(ctx context.Context, fp string, body []byte, tr *subm
 	}
 	r.addCounter(func(c *GatewayCounters) { c.Shed++ })
 	r.tele.RecordShed(time.Now())
-	r.log.Warn("submission shed cluster-wide", "nodes", tried,
-		"attempts", attempts, "retry_after", maxRetryAfter)
+	r.log.Warn("submission shed cluster-wide", traceArgs(tr, "nodes", tried,
+		"attempts", attempts, "retry_after", maxRetryAfter)...)
 	return nil, "", &shedError{RetryAfter: maxRetryAfter, Nodes: tried, Attempts: attempts}
 }
 
@@ -559,7 +565,8 @@ func (r *Router) rerouteDead(ctx context.Context, deadID string) {
 			r.counters.Deduped += uint64(len(entries))
 			r.mu.Unlock()
 			r.log.Info("dead jobs deduped onto in-flight twin",
-				"node", deadID, "fingerprint", fp, "jobs", len(entries), "twin", tgt.id)
+				traceArgs(entries[0].trace, "node", deadID, "fingerprint", fp,
+					"jobs", len(entries), "twin", tgt.id)...)
 			continue
 		}
 		// A traced job continues its original trace: salvage whatever span
@@ -583,7 +590,8 @@ func (r *Router) rerouteDead(ctx context.Context, deadID string) {
 				e.terminal = true
 			}
 			r.mu.Unlock()
-			r.log.Error("reroute failed", "node", deadID, "fingerprint", fp, "error", err)
+			r.log.Error("reroute failed", traceArgs(tr, "node", deadID,
+				"fingerprint", fp, "error", err)...)
 			continue
 		}
 		r.mu.Lock()
@@ -595,8 +603,8 @@ func (r *Router) rerouteDead(ctx context.Context, deadID string) {
 		r.counters.Deduped += uint64(len(entries) - 1)
 		r.mu.Unlock()
 		r.tele.RecordReroute(time.Now())
-		r.log.Info("jobs rerouted", "from", deadID, "to", nodeID,
-			"fingerprint", fp, "jobs", len(entries), "new_job", res.View.ID)
+		r.log.Info("jobs rerouted", traceArgs(tr, "from", deadID, "to", nodeID,
+			"fingerprint", fp, "jobs", len(entries), "new_job", res.View.ID)...)
 	}
 }
 
@@ -642,6 +650,16 @@ func (r *Router) DrainNode(ctx context.Context, id string) error {
 		r.log.Info("node draining (gateway initiated)", "node", id)
 	}
 	return nil
+}
+
+// traceArgs appends the submission's trace id to a routing log line's
+// attributes when the job is traced, so gateway log records correlate
+// with the distributed trace they belong to.
+func traceArgs(tr *submissionTrace, args ...any) []any {
+	if id := tr.traceID(); id != "" {
+		return append(args, "trace_id", id)
+	}
+	return args
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled; it reports whether the

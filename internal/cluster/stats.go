@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -131,5 +133,44 @@ func mergeTelemetry(a, b service.TelemetryStats) service.TelemetryStats {
 	}
 	out.Points = telemetry.Merge(a.Points, b.Points)
 	out.PointsPerSec = out.Points.SumPerSec
+	out.Anomalies = mergeAnomalies(a.Anomalies, b.Anomalies)
+	return out
+}
+
+// mergedAnomalyCap bounds the merged recent-anomaly history; each node
+// already bounds its own, so this only trims pathological fan-ins.
+const mergedAnomalyCap = 64
+
+// mergeAnomalies folds two nodes' anomaly summaries: counts add, and the
+// recent histories interleave by time (newest kept when over the cap).
+func mergeAnomalies(a, b *flight.AnomalyStats) *flight.AnomalyStats {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := &flight.AnomalyStats{
+		Total:  a.Total + b.Total,
+		Frozen: a.Frozen + b.Frozen,
+	}
+	if len(a.ByRule)+len(b.ByRule) > 0 {
+		out.ByRule = make(map[string]int, len(a.ByRule)+len(b.ByRule))
+		for k, v := range a.ByRule {
+			out.ByRule[k] += v
+		}
+		for k, v := range b.ByRule {
+			out.ByRule[k] += v
+		}
+	}
+	out.Recent = make([]flight.Anomaly, 0, len(a.Recent)+len(b.Recent))
+	out.Recent = append(out.Recent, a.Recent...)
+	out.Recent = append(out.Recent, b.Recent...)
+	sort.SliceStable(out.Recent, func(i, j int) bool {
+		return out.Recent[i].Time.Before(out.Recent[j].Time)
+	})
+	if len(out.Recent) > mergedAnomalyCap {
+		out.Recent = out.Recent[len(out.Recent)-mergedAnomalyCap:]
+	}
 	return out
 }

@@ -1,0 +1,430 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/telemetry"
+)
+
+// Rule names, as they appear in Anomaly.Rule and AnomalyStats.ByRule.
+const (
+	RuleLatencySpike = "latency-spike"
+	RuleShedBurst    = "shed-burst"
+	RuleStraggler    = "straggler"
+	RuleModelDrift   = "model-drift"
+)
+
+// Rules configures the anomaly engine. The zero value is usable: every
+// field falls back to the default documented on it.
+type Rules struct {
+	// Window spans the rolling telemetry the burst rules evaluate
+	// (default 60s).
+	Window time.Duration
+	// MaxAnomalies bounds the retained anomaly history (default 64;
+	// oldest evicted first).
+	MaxAnomalies int
+	// Cooldown suppresses refiring the same rule while one firing is
+	// still fresh (default 30s).
+	Cooldown time.Duration
+	// LatencyFactor fires latency-spike when a job type's windowed p99
+	// exceeds factor × its lifetime mean (default 8).
+	LatencyFactor float64
+	// LatencyMinCount is the minimum samples, both in the window and in
+	// the lifetime baseline, before latency-spike can fire (default 8).
+	LatencyMinCount int
+	// ShedBurst fires shed-burst when at least this many 429/503 sheds
+	// land inside the window (default 10).
+	ShedBurst int
+	// StragglerRatio fires straggler when a job's max/mean rank busy
+	// ratio exceeds it (default 2; needs ≥ 2 ranks).
+	StragglerRatio float64
+	// DriftTolerance fires model-drift when |measured − predicted|
+	// hidden-communication fraction exceeds it (default 0.35).
+	DriftTolerance float64
+	// ModelMachine names the machine model jobs are scored against
+	// (default "Yona", the paper's GPU testbed).
+	ModelMachine string
+	// ModelKinds overrides the implementation kind the model expects for
+	// a submitted kind, keyed by the submitted kind's string form. An
+	// operator who knows the deployment should be running hybrid overlap
+	// can map "bulk" to "hybrid-overlap" and have bulk-synchronous
+	// behavior — submitted or regressed — flagged as drift.
+	ModelKinds map[string]string
+}
+
+func (r Rules) withDefaults() Rules {
+	if r.Window <= 0 {
+		r.Window = time.Minute
+	}
+	if r.MaxAnomalies <= 0 {
+		r.MaxAnomalies = 64
+	}
+	if r.Cooldown <= 0 {
+		r.Cooldown = 30 * time.Second
+	}
+	if r.LatencyFactor <= 0 {
+		r.LatencyFactor = 8
+	}
+	if r.LatencyMinCount <= 0 {
+		r.LatencyMinCount = 8
+	}
+	if r.ShedBurst <= 0 {
+		r.ShedBurst = 10
+	}
+	if r.StragglerRatio <= 0 {
+		r.StragglerRatio = 2
+	}
+	if r.DriftTolerance <= 0 {
+		r.DriftTolerance = 0.35
+	}
+	if r.ModelMachine == "" {
+		r.ModelMachine = "Yona"
+	}
+	return r
+}
+
+// Anomaly is one rule firing.
+type Anomaly struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Rule    string    `json:"rule"`
+	Message string    `json:"message"`
+	JobID   string    `json:"job_id,omitempty"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Kind    string    `json:"kind,omitempty"`
+	// Value is the measured quantity that tripped the rule, Bound the
+	// threshold it crossed, Expected the model-side prediction (drift
+	// only).
+	Value    float64 `json:"value"`
+	Bound    float64 `json:"bound"`
+	Expected float64 `json:"expected,omitempty"`
+}
+
+// AnomalyStats summarizes an engine for /v1/stats and federated merging.
+type AnomalyStats struct {
+	Total  uint64         `json:"total"`
+	ByRule map[string]int `json:"by_rule,omitempty"`
+	// Frozen counts flight snapshots frozen by firings.
+	Frozen int `json:"frozen"`
+	// Recent is the retained anomaly history, oldest first, bounded by
+	// Rules.MaxAnomalies.
+	Recent []Anomaly `json:"recent,omitempty"`
+}
+
+// JobSample is one finished job as the engine sees it.
+type JobSample struct {
+	JobID   string
+	TraceID string
+	// Type is the request type ("simulate", "predict", ...), Kind the
+	// implementation kind string for simulate jobs.
+	Type    string
+	Kind    string
+	N       int
+	Tasks   int
+	Threads int
+	Elapsed time.Duration
+	// Report is the traced run's overlap report; nil when untraced.
+	Report *obs.Report
+}
+
+// Engine evaluates jobs and rolling telemetry against the configured
+// rules. A nil *Engine is a valid disabled engine. Firings freeze a
+// flight-recorder snapshot and invoke the notify callback (outside the
+// engine lock).
+type Engine struct {
+	rules Rules
+	rec   *Recorder
+	model *machine.Machine
+
+	mu       sync.Mutex
+	latency  map[string]*telemetry.Window // per job type, seconds
+	baseline map[string]*meanAcc          // per job type lifetime mean
+	sheds    *telemetry.Window
+	lastFire map[string]time.Time
+	anoms    []Anomaly
+	total    uint64
+	byRule   map[string]int
+	frozen   int
+	notify   func(Anomaly, Snapshot)
+}
+
+// meanAcc is a cumulative mean over a job type's whole lifetime — the
+// baseline the windowed p99 is compared against.
+type meanAcc struct {
+	count uint64
+	sum   float64
+}
+
+// NewEngine builds an engine over the given rules, freezing snapshots of
+// rec (which may be nil) on every firing.
+func NewEngine(rules Rules, rec *Recorder) *Engine {
+	r := rules.withDefaults()
+	e := &Engine{
+		rules:    r,
+		rec:      rec,
+		latency:  make(map[string]*telemetry.Window),
+		baseline: make(map[string]*meanAcc),
+		sheds:    telemetry.NewWindow(r.Window, r.Window/15, nil),
+		lastFire: make(map[string]time.Time),
+		byRule:   make(map[string]int),
+	}
+	if m, err := machine.ByName(r.ModelMachine); err == nil {
+		e.model = m
+	}
+	return e
+}
+
+// Notify registers fn to run (outside the engine lock) after every
+// firing, with the anomaly and the flight snapshot it froze.
+func (e *Engine) Notify(fn func(Anomaly, Snapshot)) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.notify = fn
+	e.mu.Unlock()
+}
+
+// Enabled reports whether the engine is live.
+func (e *Engine) Enabled() bool { return e != nil }
+
+// fire appends the anomaly under the cooldown, freezes the flight ring,
+// and notifies. Returns false when the rule is still cooling down.
+func (e *Engine) fire(a Anomaly) bool {
+	e.mu.Lock()
+	if last, ok := e.lastFire[a.Rule]; ok && a.Time.Sub(last) < e.rules.Cooldown {
+		e.mu.Unlock()
+		return false
+	}
+	e.lastFire[a.Rule] = a.Time
+	a.Seq = e.total
+	e.total++
+	e.byRule[a.Rule]++
+	if len(e.anoms) >= e.rules.MaxAnomalies {
+		copy(e.anoms, e.anoms[1:])
+		e.anoms = e.anoms[:len(e.anoms)-1]
+	}
+	e.anoms = append(e.anoms, a)
+	notify := e.notify
+	e.frozen++
+	e.mu.Unlock()
+
+	e.rec.Add(Record{
+		Time:    a.Time,
+		Kind:    KindAnomaly,
+		Level:   "WARN",
+		Msg:     a.Message,
+		JobID:   a.JobID,
+		TraceID: a.TraceID,
+		Attrs:   "rule=" + a.Rule,
+	})
+	snap := e.rec.Freeze(a.Time, a.Rule)
+	if notify != nil {
+		notify(a, snap)
+	}
+	return true
+}
+
+// ObserveJob feeds one finished job: its latency joins the rolling window
+// and baseline, and its traced report (if any) is checked for straggler
+// imbalance and model-vs-measured overlap drift.
+func (e *Engine) ObserveJob(now time.Time, s JobSample) {
+	if e == nil {
+		return
+	}
+	sec := s.Elapsed.Seconds()
+	e.mu.Lock()
+	w := e.latency[s.Type]
+	if w == nil {
+		w = telemetry.NewWindow(e.rules.Window, e.rules.Window/15, telemetry.DurationBounds())
+		e.latency[s.Type] = w
+	}
+	b := e.baseline[s.Type]
+	if b == nil {
+		b = &meanAcc{}
+		e.baseline[s.Type] = b
+	}
+	b.count++
+	b.sum += sec
+	e.mu.Unlock()
+	w.Observe(now, sec)
+
+	if s.Report == nil {
+		return
+	}
+	e.checkStraggler(now, s)
+	e.checkDrift(now, s)
+}
+
+// ObserveShed feeds one shed admission (429 queue-full or 503 draining).
+func (e *Engine) ObserveShed(now time.Time) {
+	if e == nil {
+		return
+	}
+	e.sheds.Observe(now, 1)
+}
+
+// checkStraggler fires when one rank's busy time dominates the others.
+func (e *Engine) checkStraggler(now time.Time, s JobSample) {
+	imb := s.Report.Imbalance
+	if imb == nil || len(imb.Ranks) < 2 || imb.Ratio <= e.rules.StragglerRatio {
+		return
+	}
+	e.fire(Anomaly{
+		Time: now,
+		Rule: RuleStraggler,
+		Message: fmt.Sprintf("rank %d busy %.1f× the mean (%0.3fs vs %0.3fs) over %d ranks",
+			imb.Straggler, imb.Ratio, imb.MaxSec, imb.MeanSec, len(imb.Ranks)),
+		JobID:   s.JobID,
+		TraceID: s.TraceID,
+		Kind:    s.Kind,
+		Value:   imb.Ratio,
+		Bound:   e.rules.StragglerRatio,
+	})
+}
+
+// checkDrift compares the job's measured hidden-communication fraction
+// (the mpi/compute pair of its overlap report) against the perf model's
+// prediction for the kind the deployment expects, firing when the gap
+// exceeds the tolerance band.
+func (e *Engine) checkDrift(now time.Time, s JobSample) {
+	if e.model == nil || s.Kind == "" {
+		return
+	}
+	measured, ok := measuredHidden(s.Report)
+	if !ok {
+		return
+	}
+	kindStr := s.Kind
+	if want, mapped := e.rules.ModelKinds[kindStr]; mapped {
+		kindStr = want
+	}
+	kind, err := core.ParseKind(kindStr)
+	if err != nil {
+		return
+	}
+	tasks := s.Tasks
+	if tasks < 1 {
+		tasks = 1
+	}
+	threads := s.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	expected, err := perf.ExpectedHiddenFraction(perf.Config{
+		M:       e.model,
+		Kind:    kind,
+		Cores:   tasks * threads,
+		Threads: threads,
+		N:       grid.Uniform(s.N),
+	})
+	if err != nil {
+		return
+	}
+	gap := measured - expected
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap <= e.rules.DriftTolerance {
+		return
+	}
+	e.fire(Anomaly{
+		Time: now,
+		Rule: RuleModelDrift,
+		Message: fmt.Sprintf("measured hidden-comm fraction %.2f vs model %.2f for %s on %s (|drift| %.2f > %.2f)",
+			measured, expected, kindStr, e.rules.ModelMachine, gap, e.rules.DriftTolerance),
+		JobID:    s.JobID,
+		TraceID:  s.TraceID,
+		Kind:     s.Kind,
+		Value:    measured,
+		Bound:    e.rules.DriftTolerance,
+		Expected: expected,
+	})
+}
+
+// measuredHidden extracts the mpi/compute overlap fraction from a report.
+func measuredHidden(rep *obs.Report) (float64, bool) {
+	for _, p := range rep.Total {
+		if p.Name == obs.PairMPICompute && p.CommSec > 0 {
+			return p.Fraction, true
+		}
+	}
+	return 0, false
+}
+
+// Sweep evaluates the windowed rules (latency-spike, shed-burst) at now.
+// The service calls it periodically from its sweep loop.
+func (e *Engine) Sweep(now time.Time) {
+	if e == nil {
+		return
+	}
+	type spike struct {
+		typ            string
+		p99, mean, cap float64
+	}
+	var spikes []spike
+	e.mu.Lock()
+	for typ, w := range e.latency {
+		b := e.baseline[typ]
+		if b == nil || b.count < uint64(e.rules.LatencyMinCount) {
+			continue
+		}
+		st := w.Stats(now)
+		if st.Count < uint64(e.rules.LatencyMinCount) {
+			continue
+		}
+		mean := b.sum / float64(b.count)
+		if cap := mean * e.rules.LatencyFactor; st.P99 > cap {
+			spikes = append(spikes, spike{typ: typ, p99: st.P99, mean: mean, cap: cap})
+		}
+	}
+	e.mu.Unlock()
+	for _, sp := range spikes {
+		e.fire(Anomaly{
+			Time: now,
+			Rule: RuleLatencySpike,
+			Message: fmt.Sprintf("%s p99 %.3fs exceeds %.0f× lifetime mean %.4fs",
+				sp.typ, sp.p99, e.rules.LatencyFactor, sp.mean),
+			Kind:  sp.typ,
+			Value: sp.p99,
+			Bound: sp.cap,
+		})
+	}
+	if shed := e.sheds.Stats(now); shed.Count >= uint64(e.rules.ShedBurst) {
+		e.fire(Anomaly{
+			Time: now,
+			Rule: RuleShedBurst,
+			Message: fmt.Sprintf("%d admissions shed in the last %s",
+				shed.Count, e.rules.Window),
+			Value: float64(shed.Count),
+			Bound: float64(e.rules.ShedBurst),
+		})
+	}
+}
+
+// Anomalies returns the engine's summary: totals, per-rule counts, and
+// the retained history oldest first.
+func (e *Engine) Anomalies() AnomalyStats {
+	if e == nil {
+		return AnomalyStats{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := AnomalyStats{Total: e.total, Frozen: e.frozen}
+	if len(e.byRule) > 0 {
+		st.ByRule = make(map[string]int, len(e.byRule))
+		for k, v := range e.byRule {
+			st.ByRule[k] = v
+		}
+	}
+	st.Recent = make([]Anomaly, len(e.anoms))
+	copy(st.Recent, e.anoms)
+	return st
+}

@@ -1,0 +1,402 @@
+package flight
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func at(sec int) time.Time {
+	return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second)
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Record{Time: at(i), Kind: KindJob, Msg: "evt"})
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	s := r.Snapshot(at(10))
+	if len(s.Records) != 4 {
+		t.Fatalf("snapshot holds %d records, want 4", len(s.Records))
+	}
+	if s.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", s.Dropped)
+	}
+	for i, rec := range s.Records {
+		if want := uint64(6 + i); rec.Seq != want {
+			t.Errorf("record %d: Seq = %d, want %d (oldest first)", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestRecorderPartialRing(t *testing.T) {
+	r := NewRecorder(8)
+	r.Add(Record{Msg: "one"})
+	r.Add(Record{Msg: "two"})
+	s := r.Snapshot(at(0))
+	if len(s.Records) != 2 || s.Dropped != 0 {
+		t.Fatalf("got %d records, dropped %d; want 2 records, 0 dropped", len(s.Records), s.Dropped)
+	}
+	if s.Records[0].Msg != "one" || s.Records[1].Msg != "two" {
+		t.Errorf("records out of order: %q, %q", s.Records[0].Msg, s.Records[1].Msg)
+	}
+}
+
+func TestRecorderFreezeBounded(t *testing.T) {
+	r := NewRecorder(4)
+	r.Add(Record{Msg: "evt"})
+	for i := 0; i < DefaultFrozen+3; i++ {
+		r.Freeze(at(i), "reason")
+	}
+	frozen := r.Frozen()
+	if len(frozen) != DefaultFrozen {
+		t.Fatalf("retained %d frozen snapshots, want %d", len(frozen), DefaultFrozen)
+	}
+	// Oldest freezes evicted: the first retained one is freeze #3.
+	if !frozen[0].Taken.Equal(at(3)) {
+		t.Errorf("oldest retained freeze taken at %v, want %v", frozen[0].Taken, at(3))
+	}
+	if frozen[0].Reason != "reason" {
+		t.Errorf("Reason = %q", frozen[0].Reason)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Add(Record{Msg: "x"})
+	r.Job(at(0), "j", "t", "msg")
+	r.Span(at(0), "j", "t", "msg")
+	r.Stats(at(0), "msg")
+	if r.Len() != 0 {
+		t.Fatal("nil recorder has length")
+	}
+	if s := r.Snapshot(at(0)); len(s.Records) != 0 {
+		t.Fatal("nil recorder snapshot has records")
+	}
+	if s := r.Freeze(at(0), "why"); s.Reason != "why" {
+		t.Fatal("nil recorder freeze lost reason")
+	}
+	if r.Frozen() != nil {
+		t.Fatal("nil recorder has frozen snapshots")
+	}
+}
+
+// TestFlightDisabledAllocatesNothing is the ci.sh alloc gate: the nil
+// recorder and engine paths instrumented call sites always pay must not
+// allocate.
+func TestFlightDisabledAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	var e *Engine
+	rec := Record{Time: at(0), Kind: KindJob, Msg: "evt", JobID: "j1"}
+	sample := JobSample{JobID: "j1", Type: "simulate", Elapsed: time.Second}
+	avg := testing.AllocsPerRun(1000, func() {
+		r.Add(rec)
+		r.Job(at(0), "j1", "t1", "done")
+		e.ObserveJob(at(0), sample)
+		e.ObserveShed(at(0))
+		e.Sweep(at(0))
+	})
+	if avg != 0 {
+		t.Fatalf("disabled flight path allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkFlightDisabled(b *testing.B) {
+	var r *Recorder
+	var e *Engine
+	rec := Record{Time: at(0), Kind: KindJob, Msg: "evt"}
+	sample := JobSample{JobID: "j1", Type: "simulate", Elapsed: time.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(rec)
+		e.ObserveJob(at(0), sample)
+		e.ObserveShed(at(0))
+	}
+}
+
+func BenchmarkFlightAdd(b *testing.B) {
+	r := NewRecorder(512)
+	rec := Record{Time: at(0), Kind: KindJob, Msg: "evt"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(rec)
+	}
+}
+
+func TestTeeHandlerCapturesAndForwards(t *testing.T) {
+	rec := NewRecorder(16)
+	var buf bytes.Buffer
+	inner := slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo})
+	log := slog.New(TeeHandler(rec, inner))
+
+	log.Info("job submitted", "job", "n1-42", "trace_id", "abc123", "type", "simulate", "cache_hit", false)
+
+	s := rec.Snapshot(at(0))
+	if len(s.Records) != 1 {
+		t.Fatalf("recorder holds %d records, want 1", len(s.Records))
+	}
+	r := s.Records[0]
+	if r.Kind != KindLog || r.Msg != "job submitted" || r.Level != "INFO" {
+		t.Errorf("record = %+v", r)
+	}
+	if r.JobID != "n1-42" || r.TraceID != "abc123" {
+		t.Errorf("job/trace not lifted: job=%q trace=%q", r.JobID, r.TraceID)
+	}
+	if !strings.Contains(r.Attrs, "type=simulate") || !strings.Contains(r.Attrs, "cache_hit=false") {
+		t.Errorf("Attrs = %q", r.Attrs)
+	}
+	if strings.Contains(r.Attrs, "trace_id") {
+		t.Errorf("trace_id left in Attrs: %q", r.Attrs)
+	}
+	if !strings.Contains(buf.String(), "job submitted") {
+		t.Errorf("inner handler missed the record: %q", buf.String())
+	}
+}
+
+func TestTeeHandlerWithAttrsAndGroups(t *testing.T) {
+	rec := NewRecorder(16)
+	inner := slog.NewTextHandler(&bytes.Buffer{}, nil)
+	log := slog.New(TeeHandler(rec, inner)).
+		With("job", "n2-7", "node", "n2").
+		WithGroup("queue")
+	log.Warn("queue full", "depth", 64)
+
+	s := rec.Snapshot(at(0))
+	if len(s.Records) != 1 {
+		t.Fatalf("recorder holds %d records, want 1", len(s.Records))
+	}
+	r := s.Records[0]
+	if r.JobID != "n2-7" {
+		t.Errorf("JobID = %q, want from With attrs", r.JobID)
+	}
+	if !strings.Contains(r.Attrs, "node=n2") || !strings.Contains(r.Attrs, "queue.depth=64") {
+		t.Errorf("Attrs = %q", r.Attrs)
+	}
+	if r.Level != "WARN" {
+		t.Errorf("Level = %q", r.Level)
+	}
+}
+
+func TestTeeHandlerDebugBelowInnerLevel(t *testing.T) {
+	rec := NewRecorder(16)
+	var buf bytes.Buffer
+	inner := slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn})
+	log := slog.New(TeeHandler(rec, inner))
+
+	log.Debug("noise") // below both: dropped everywhere
+	log.Info("quiet")  // teed but invisible on the inner handler
+
+	if got := rec.Len(); got != 1 {
+		t.Fatalf("recorder holds %d records, want only the Info one", got)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("inner handler emitted despite Warn level: %q", buf.String())
+	}
+}
+
+func TestTeeHandlerNilRecorder(t *testing.T) {
+	inner := slog.NewTextHandler(&bytes.Buffer{}, nil)
+	if h := TeeHandler(nil, inner); h != inner {
+		t.Fatal("nil recorder must return the inner handler unchanged")
+	}
+}
+
+func TestEngineNilSafe(t *testing.T) {
+	var e *Engine
+	if e.Enabled() {
+		t.Fatal("nil engine reports enabled")
+	}
+	e.Notify(func(Anomaly, Snapshot) {})
+	e.ObserveJob(at(0), JobSample{Type: "simulate", Elapsed: time.Second})
+	e.ObserveShed(at(0))
+	e.Sweep(at(0))
+	if st := e.Anomalies(); st.Total != 0 || st.Recent != nil {
+		t.Fatalf("nil engine stats = %+v", st)
+	}
+}
+
+func driftReport(fraction float64) *obs.Report {
+	return &obs.Report{
+		Total: []obs.PairOverlap{{
+			Name:       obs.PairMPICompute,
+			CommSec:    1.0,
+			WorkSec:    2.0,
+			OverlapSec: fraction,
+			Fraction:   fraction,
+		}},
+	}
+}
+
+func TestEngineModelDrift(t *testing.T) {
+	rec := NewRecorder(32)
+	e := NewEngine(Rules{
+		ModelKinds:     map[string]string{"bulk": "hybrid-overlap"},
+		DriftTolerance: 0.35,
+	}, rec)
+	var fired []Anomaly
+	e.Notify(func(a Anomaly, s Snapshot) {
+		if len(s.Records) == 0 {
+			t.Error("firing froze an empty snapshot")
+		}
+		fired = append(fired, a)
+	})
+
+	rec.Job(at(0), "n1-1", "tr-1", "job started")
+
+	// A bulk run measured ~0 hidden where the model expects hybrid
+	// overlap to hide ~1.0 of the exchange: decisive drift.
+	e.ObserveJob(at(1), JobSample{
+		JobID: "n1-1", TraceID: "tr-1", Type: "simulate", Kind: "bulk",
+		N: 48, Tasks: 2, Threads: 1, Elapsed: time.Second,
+		Report: driftReport(0.0),
+	})
+	if len(fired) != 1 {
+		t.Fatalf("fired %d anomalies, want 1", len(fired))
+	}
+	a := fired[0]
+	if a.Rule != RuleModelDrift {
+		t.Errorf("Rule = %q", a.Rule)
+	}
+	if a.JobID != "n1-1" || a.TraceID != "tr-1" {
+		t.Errorf("anomaly ids = %q/%q", a.JobID, a.TraceID)
+	}
+	if a.Expected < 0.9 {
+		t.Errorf("Expected = %g, want near 1 (hybrid-overlap prediction)", a.Expected)
+	}
+	if frozen := rec.Frozen(); len(frozen) != 1 || frozen[0].Reason != RuleModelDrift {
+		t.Errorf("frozen = %+v", frozen)
+	}
+
+	// Anomaly history reflects the firing.
+	st := e.Anomalies()
+	if st.Total != 1 || st.ByRule[RuleModelDrift] != 1 || st.Frozen != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineDriftWithinTolerance(t *testing.T) {
+	e := NewEngine(Rules{
+		ModelKinds:     map[string]string{"hybrid-overlap": "hybrid-overlap"},
+		DriftTolerance: 0.35,
+	}, nil)
+	fired := 0
+	e.Notify(func(Anomaly, Snapshot) { fired++ })
+	// Measured 0.9 where the model predicts ~1.0: inside the band.
+	e.ObserveJob(at(1), JobSample{
+		JobID: "n1-2", Type: "simulate", Kind: "hybrid-overlap",
+		N: 48, Tasks: 2, Threads: 1, Elapsed: time.Second,
+		Report: driftReport(0.9),
+	})
+	if fired != 0 {
+		t.Fatalf("fired %d anomalies inside the tolerance band", fired)
+	}
+}
+
+func TestEngineStraggler(t *testing.T) {
+	e := NewEngine(Rules{StragglerRatio: 2}, nil)
+	var fired []Anomaly
+	e.Notify(func(a Anomaly, _ Snapshot) { fired = append(fired, a) })
+
+	rep := &obs.Report{Imbalance: &obs.ImbalanceReport{
+		Ranks:     []obs.RankLoad{{Rank: 0, BusySec: 3.0}, {Rank: 1, BusySec: 0.5}},
+		MeanSec:   1.75,
+		MaxSec:    3.0,
+		Ratio:     3.0 / 1.75,
+		Straggler: 0,
+	}}
+	e.ObserveJob(at(1), JobSample{JobID: "n1-3", Type: "simulate", Elapsed: time.Second, Report: rep})
+	if len(fired) != 0 {
+		t.Fatalf("ratio 1.71 fired below bound 2")
+	}
+
+	rep.Imbalance.Ratio = 2.5
+	e.ObserveJob(at(2), JobSample{JobID: "n1-4", Type: "simulate", Elapsed: time.Second, Report: rep})
+	if len(fired) != 1 || fired[0].Rule != RuleStraggler {
+		t.Fatalf("fired = %+v, want one straggler", fired)
+	}
+}
+
+func TestEngineLatencySpike(t *testing.T) {
+	e := NewEngine(Rules{LatencyFactor: 8, LatencyMinCount: 8, Window: time.Minute}, nil)
+	var fired []Anomaly
+	e.Notify(func(a Anomaly, _ Snapshot) { fired = append(fired, a) })
+
+	// Build a fast baseline deep enough that the slow runs joining the
+	// lifetime mean can't drag the threshold up past their own p99.
+	for i := 0; i < 500; i++ {
+		e.ObserveJob(at(i/100), JobSample{Type: "simulate", Elapsed: time.Millisecond})
+	}
+	e.Sweep(at(5))
+	if len(fired) != 0 {
+		t.Fatalf("fired on a healthy baseline")
+	}
+	for i := 0; i < 10; i++ {
+		e.ObserveJob(at(30+i), JobSample{Type: "simulate", Elapsed: 2 * time.Second})
+	}
+	e.Sweep(at(40))
+	if len(fired) != 1 || fired[0].Rule != RuleLatencySpike {
+		t.Fatalf("fired = %+v, want one latency-spike", fired)
+	}
+	if fired[0].Kind != "simulate" {
+		t.Errorf("Kind = %q", fired[0].Kind)
+	}
+}
+
+func TestEngineShedBurstAndCooldown(t *testing.T) {
+	e := NewEngine(Rules{ShedBurst: 10, Window: time.Minute, Cooldown: 30 * time.Second}, nil)
+	var fired []Anomaly
+	e.Notify(func(a Anomaly, _ Snapshot) { fired = append(fired, a) })
+
+	for i := 0; i < 9; i++ {
+		e.ObserveShed(at(1))
+	}
+	e.Sweep(at(2))
+	if len(fired) != 0 {
+		t.Fatalf("fired below the burst bound")
+	}
+	e.ObserveShed(at(2))
+	e.Sweep(at(3))
+	if len(fired) != 1 || fired[0].Rule != RuleShedBurst {
+		t.Fatalf("fired = %+v, want one shed-burst", fired)
+	}
+
+	// Still inside the cooldown: sweeping again must not refire.
+	e.Sweep(at(10))
+	if len(fired) != 1 {
+		t.Fatalf("refired inside the cooldown: %d", len(fired))
+	}
+	// Past the cooldown, the still-hot window fires again.
+	e.Sweep(at(40))
+	if len(fired) != 2 {
+		t.Fatalf("did not refire after the cooldown: %d", len(fired))
+	}
+}
+
+func TestEngineAnomalyHistoryBounded(t *testing.T) {
+	e := NewEngine(Rules{MaxAnomalies: 4, Cooldown: time.Millisecond, ShedBurst: 1, Window: time.Minute}, nil)
+	for i := 0; i < 10; i++ {
+		e.ObserveShed(at(i))
+		e.Sweep(at(i))
+	}
+	st := e.Anomalies()
+	if len(st.Recent) != 4 {
+		t.Fatalf("retained %d anomalies, want 4", len(st.Recent))
+	}
+	if st.Total != 10 {
+		t.Errorf("Total = %d, want 10", st.Total)
+	}
+	// Oldest evicted: retained history is the last four firings.
+	if st.Recent[0].Seq != 6 || st.Recent[3].Seq != 9 {
+		t.Errorf("retained seqs %d..%d, want 6..9", st.Recent[0].Seq, st.Recent[3].Seq)
+	}
+}

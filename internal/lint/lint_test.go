@@ -116,6 +116,14 @@ func TestClockSimFixture(t *testing.T) {
 	runFixture(t, "clocksim", "fixture/internal/gpusim", lint.Default())
 }
 
+// TestFlightNilsafeFixture loads the fixture under an import path ending
+// in internal/flight, so the default registry's nilsafe coverage of
+// *flight.Recorder and *flight.Engine applies — the same matching the CI
+// gate uses on the real package.
+func TestFlightNilsafeFixture(t *testing.T) {
+	runFixture(t, "flightsafe", "fixture/internal/flight", lint.Default())
+}
+
 func TestClockParamFixture(t *testing.T) {
 	runFixture(t, "clockparam", "fixture/clockparam", []*lint.Analyzer{
 		lint.ClockDiscipline(nil, []string{"clockparam.Tick"}),

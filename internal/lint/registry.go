@@ -9,6 +9,7 @@ func Default() []*Analyzer {
 		Nilsafe(map[string][]string{
 			"internal/obs":       {"Recorder"},
 			"internal/telemetry": {"Window", "Hub"},
+			"internal/flight":    {"Recorder", "Engine"},
 		}),
 		ClockDiscipline(
 			[]string{"internal/gpusim", "internal/vtime"},

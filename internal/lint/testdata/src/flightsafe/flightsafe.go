@@ -1,0 +1,58 @@
+// Package flight is a lint fixture loaded under an import path ending in
+// internal/flight, so the default registry's nilsafe configuration — the
+// one the CI gate applies to the real package — covers Recorder and
+// Engine here.
+package flight
+
+import "sync"
+
+// Recorder mimics flight.Recorder: a nil *Recorder must be a valid
+// disabled recorder.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []int
+}
+
+// Add is missing its guard.
+func (r *Recorder) Add(v int) { // want `exported method \(\*Recorder\)\.Add must begin with 'if r == nil'`
+	r.mu.Lock()
+	r.ring = append(r.ring, v)
+	r.mu.Unlock()
+}
+
+// Len guards correctly.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Enabled-style single-expression bodies count as guards.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Engine mimics flight.Engine, the second covered type.
+type Engine struct {
+	total int
+}
+
+// Observe guards something that is not the receiver.
+func (e *Engine) Observe(v *int) { // want `exported method \(\*Engine\)\.Observe must begin with 'if e == nil'`
+	if v == nil {
+		return
+	}
+	e.total += *v
+}
+
+// Sweep guards as the leftmost operand of an || chain.
+func (e *Engine) Sweep(n int) int {
+	if e == nil || n < 0 {
+		return 0
+	}
+	return e.total + n
+}
+
+// fire is unexported: callers inside the package guard for it.
+func (e *Engine) fire(v int) {
+	e.total += v
+}

@@ -1,0 +1,80 @@
+package perf
+
+import (
+	"repro/internal/core"
+)
+
+// Model-side overlap expectations. The measured side of the comparison is
+// obs.BuildReport's mpi/compute pair — the share of MPI exchange time a
+// traced run actually hid behind computation. The model side, produced
+// here, is the same quantity derived from the timeline models: how much of
+// the bulk-synchronous exchange cost the overlap schedule is predicted to
+// remove. The flight-recorder anomaly engine compares the two and flags
+// runs whose measured overlap drifts outside a tolerance band around the
+// prediction — the paper's analytic expectation turned into a production
+// alarm.
+
+// OverlapCounterpart returns the bulk-synchronous implementation an
+// overlap kind improves on — the baseline its hidden communication is
+// measured against (§IV pairs C/B, D/B, G/F, I/H). Kinds whose schedule
+// hides nothing map to themselves.
+func OverlapCounterpart(k core.Kind) core.Kind {
+	switch k {
+	case core.NonblockingOverlap, core.ThreadedOverlap:
+		return core.BulkSync
+	case core.GPUStreams:
+		return core.GPUBulkSync
+	case core.HybridOverlap:
+		return core.HybridBulkSync
+	}
+	return k
+}
+
+// commKeys are the breakdown components that count as exchange cost in a
+// bulk-synchronous estimate: the CPU models report "comm", the GPU and
+// hybrid models report the network share as "mpi" plus the CPU-mediated
+// device pipeline as "cpuPipe"/"pcie"/"ring".
+var commKeys = []string{"comm", "mpi", "cpuPipe", "pcie", "ring"}
+
+// commSeconds sums an estimate's exchange components.
+func commSeconds(est Estimate) float64 {
+	var total float64
+	for _, k := range commKeys {
+		total += est.Breakdown[k]
+	}
+	return total
+}
+
+// ExpectedHiddenFraction predicts the hidden-communication fraction for
+// one configuration: the step time saved relative to the kind's
+// bulk-synchronous counterpart, expressed as a share of the counterpart's
+// exchange cost and clamped to [0, 1]. A bulk-synchronous kind (its own
+// counterpart) is predicted to hide nothing. The result is directly
+// comparable to the measured mpi/compute pair fraction of an obs report.
+func ExpectedHiddenFraction(cfg Config) (float64, error) {
+	base := cfg
+	base.Kind = OverlapCounterpart(cfg.Kind)
+	if base.Kind == cfg.Kind {
+		return 0, nil
+	}
+	over, err := Evaluate(cfg)
+	if err != nil {
+		return 0, err
+	}
+	bulk, err := Evaluate(base)
+	if err != nil {
+		return 0, err
+	}
+	comm := commSeconds(bulk)
+	if comm <= 0 {
+		return 0, nil
+	}
+	f := (bulk.StepSec - over.StepSec) / comm
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f, nil
+}

@@ -1,0 +1,75 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+func TestOverlapCounterpart(t *testing.T) {
+	pairs := map[core.Kind]core.Kind{
+		core.NonblockingOverlap: core.BulkSync,
+		core.ThreadedOverlap:    core.BulkSync,
+		core.GPUStreams:         core.GPUBulkSync,
+		core.HybridOverlap:      core.HybridBulkSync,
+		core.BulkSync:           core.BulkSync,
+		core.SingleTask:         core.SingleTask,
+		core.HybridBulkSync:     core.HybridBulkSync,
+	}
+	for k, want := range pairs {
+		if got := OverlapCounterpart(k); got != want {
+			t.Errorf("OverlapCounterpart(%v) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestExpectedHiddenFraction pins the shape the anomaly engine relies on:
+// bulk-synchronous kinds are predicted to hide nothing, overlap kinds are
+// predicted to hide a solidly positive share of the exchange at low core
+// counts (the paper's big-message regime), and the fraction stays in
+// [0, 1].
+func TestExpectedHiddenFraction(t *testing.T) {
+	yona := machine.Yona()
+
+	bulkKinds := []core.Kind{core.SingleTask, core.BulkSync, core.HybridBulkSync, core.GPUBulkSync}
+	for _, k := range bulkKinds {
+		f, err := ExpectedHiddenFraction(Config{M: yona, Kind: k, Cores: 2, Threads: 1, N: grid.Uniform(48)})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if f != 0 {
+			t.Errorf("%v: expected fraction 0 for a bulk kind, got %g", k, f)
+		}
+	}
+
+	// The GPU-side overlap schedules hide a solid share of the exchange
+	// even at two tasks; the anomaly e2e leans on hybrid-overlap staying
+	// well above the default drift tolerance.
+	gpuOverlap := []core.Kind{core.HybridOverlap, core.GPUStreams}
+	for _, k := range gpuOverlap {
+		f, err := ExpectedHiddenFraction(Config{M: yona, Kind: k, Cores: 2, Threads: 1, N: grid.Uniform(48)})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		t.Logf("%v on Yona, 2 cores, 48^3: predicted hidden fraction %.3f", k, f)
+		if f <= 0.3 || f > 1 {
+			t.Errorf("%v: predicted fraction %g outside (0.3, 1]", k, f)
+		}
+	}
+
+	// Nonblocking overlap only pays while messages are bandwidth-bound; at
+	// a tiny two-task problem the model may honestly predict no hiding, but
+	// the fraction must stay within [0, 1] everywhere the model evaluates.
+	for _, cores := range []int{2, 12, 24} {
+		f, err := ExpectedHiddenFraction(Config{M: yona, Kind: core.NonblockingOverlap, Cores: cores, Threads: 1})
+		if err != nil {
+			t.Fatalf("nonblocking at %d cores: %v", cores, err)
+		}
+		t.Logf("nonblocking on Yona, %d cores, paper grid: predicted hidden fraction %.3f", cores, f)
+		if f < 0 || f > 1 {
+			t.Errorf("nonblocking at %d cores: predicted fraction %g outside [0, 1]", cores, f)
+		}
+	}
+}

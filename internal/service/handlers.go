@@ -37,6 +37,7 @@ type errorDoc struct {
 //	GET    /v1/cache/{key}      peek the result cache (cluster affinity probe)
 //	PUT    /v1/cache/{key}      seed the result cache (cluster replication)
 //	POST   /v1/drain            begin a graceful drain (cluster rebalance)
+//	GET    /v1/debug/bundle     postmortem bundle (flight ring, anomalies, profiles)
 //	GET    /metrics             Prometheus text (JSON with ?format=json)
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /debug/pprof/        Go profiling endpoints (Config.EnablePprof)
@@ -56,6 +57,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCachePeek)
 	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("GET /v1/debug/bundle", s.handleBundle)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.EnablePprof {
@@ -166,7 +168,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorDoc{Error: "job already finished"})
 		return
 	}
-	s.log.Info("job cancelled", "job", j.ID(), "type", j.View().Type)
+	s.log.Info("job cancelled", jobArgs(j)...)
 	writeJSON(w, http.StatusOK, j.View())
 }
 

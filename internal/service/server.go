@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
@@ -46,6 +47,19 @@ type Config struct {
 	// is reported by /healthz and /v1/stats so a gateway can label
 	// federated telemetry. Empty means standalone (no prefix, no label).
 	NodeID string
+	// FlightEvents sizes the flight-recorder ring (last N events retained
+	// for GET /v1/debug/bundle). 0 selects flight.DefaultEvents; negative
+	// disables the recorder and the anomaly engine entirely (the nil-safe
+	// disabled path).
+	FlightEvents int
+	// FlightRules configures the anomaly engine; the zero value selects
+	// the defaults documented on flight.Rules. Ignored when FlightEvents
+	// is negative.
+	FlightRules flight.Rules
+	// HeartbeatInterval is the cadence of ": heartbeat" SSE comment lines
+	// on idle /v1/stream connections, keeping proxies from severing quiet
+	// subscribers. Default 15s.
+	HeartbeatInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +87,9 @@ func (c Config) withDefaults() Config {
 	if c.StreamInterval <= 0 {
 		c.StreamInterval = time.Second
 	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 15 * time.Second
+	}
 	return c
 }
 
@@ -91,6 +108,8 @@ type Server struct {
 	hub     *telemetry.Hub
 	pool    *Pool
 	mux     *http.ServeMux
+	flight  *flight.Recorder
+	engine  *flight.Engine
 
 	baseCtx    context.Context    // parent of every job context
 	cancelJobs context.CancelFunc // fired when the drain deadline passes
@@ -114,9 +133,78 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		cancelJobs: cancel,
 	}
+	if cfg.FlightEvents >= 0 {
+		// The flight recorder tees the node's own logger so the ring
+		// retains recent log history alongside job/stats/anomaly records;
+		// the engine watches jobs and windows, surfacing firings on the
+		// live stream and freezing the ring for the postmortem bundle.
+		s.flight = flight.NewRecorder(cfg.FlightEvents)
+		s.log = slog.New(flight.TeeHandler(s.flight, cfg.Logger.Handler()))
+		s.engine = flight.NewEngine(cfg.FlightRules, s.flight)
+		s.engine.Notify(s.publishAnomaly)
+	}
 	s.pool = NewPool(cfg.Workers, s.queue, s.runJob)
 	s.mux = s.routes()
+	if s.engine.Enabled() {
+		go s.sweepLoop()
+	}
 	return s
+}
+
+// publishAnomaly surfaces one engine firing: a warning on the node log
+// (which the tee handler also folds into the flight ring) and an
+// "anomaly" event on the live SSE stream.
+func (s *Server) publishAnomaly(a flight.Anomaly, _ flight.Snapshot) {
+	s.log.Warn("anomaly detected", "rule", a.Rule, "job", a.JobID,
+		"trace_id", a.TraceID, "value", a.Value, "bound", a.Bound,
+		"detail", a.Message)
+	data, err := json.Marshal(a)
+	if err != nil {
+		return
+	}
+	s.hub.Publish(telemetry.Event{Name: "anomaly", Data: data})
+}
+
+// flightSweepInterval is the cadence of the anomaly engine's windowed-rule
+// evaluation; every statsEveryNSweeps-th sweep also lands a stats record
+// in the flight ring.
+const (
+	flightSweepInterval = time.Second
+	statsEveryNSweeps   = 15
+)
+
+// sweepLoop periodically evaluates the windowed anomaly rules and drops a
+// stats heartbeat into the flight ring, until the server's root context is
+// cancelled at the end of a drain.
+func (s *Server) sweepLoop() {
+	tick := time.NewTicker(flightSweepInterval)
+	defer tick.Stop()
+	n := 0
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case now := <-tick.C:
+			s.engine.Sweep(now)
+			n++
+			if n%statsEveryNSweeps == 0 {
+				s.flight.Stats(now, fmt.Sprintf("queue %d/%d busy %d/%d",
+					s.queue.Depth(), s.queue.Cap(), s.pool.Busy(), s.pool.Workers()))
+			}
+		}
+	}
+}
+
+// jobArgs assembles the shared slog attributes of a job's lifecycle lines:
+// job id, type, and — when the job belongs to a cluster-wide trace — its
+// trace id, so flight-recorder log records correlate with traces.
+func jobArgs(j *Job, extra ...any) []any {
+	args := make([]any, 0, 6+len(extra))
+	args = append(args, "job", j.id, "type", j.req.Type)
+	if j.traceID != "" {
+		args = append(args, "trace_id", j.traceID)
+	}
+	return append(args, extra...)
 }
 
 // Handler returns the HTTP API.
@@ -140,7 +228,12 @@ func (s *Server) SubmitTraced(req Request, tc *obs.TraceContext) (*Job, error) {
 	}
 	if s.draining.Load() {
 		s.metrics.CountJob(req.Type, outcomeRejected)
-		s.log.Warn("job shed", "type", req.Type, "reason", "draining")
+		s.engine.ObserveShed(time.Now())
+		args := []any{"type", req.Type, "reason", "draining"}
+		if tc != nil && tc.TraceID != "" {
+			args = append(args, "trace_id", tc.TraceID)
+		}
+		s.log.Warn("job shed", args...)
 		return nil, ErrDraining
 	}
 	now := time.Now()
@@ -160,14 +253,15 @@ func (s *Server) SubmitTraced(req Request, tc *obs.TraceContext) (*Job, error) {
 		s.store.Add(j)
 		s.metrics.CountJob(req.Type, outcomeSubmitted)
 		s.metrics.CountJob(req.Type, outcomeCached)
-		s.log.Info("job submitted", "job", j.id, "type", req.Type, "cache_hit", true)
+		s.log.Info("job submitted", jobArgs(j, "cache_hit", true)...)
 		s.publishJob(j)
 		return j, nil
 	}
 	if !s.queue.TryPush(j) {
 		s.metrics.CountJob(req.Type, outcomeRejected)
-		s.log.Warn("job shed", "type", req.Type, "reason", "queue full",
-			"queue_depth", s.queue.Depth())
+		s.engine.ObserveShed(now)
+		s.log.Warn("job shed", jobArgs(j, "reason", "queue full",
+			"queue_depth", s.queue.Depth())...)
 		return nil, ErrQueueFull
 	}
 	j.queuedAt = j.rec.Clock()
@@ -175,14 +269,16 @@ func (s *Server) SubmitTraced(req Request, tc *obs.TraceContext) (*Job, error) {
 	s.store.Add(j)
 	s.metrics.CountJob(req.Type, outcomeSubmitted)
 	s.tele.RecordDepth(now, s.queue.Depth())
-	s.log.Info("job submitted", "job", j.id, "type", req.Type, "cache_hit", false)
+	s.log.Info("job submitted", jobArgs(j, "cache_hit", false)...)
 	s.publishJob(j)
 	return j, nil
 }
 
-// publishJob emits a job lifecycle event on the live stream.
+// publishJob emits a job lifecycle event on the live stream and the
+// flight ring.
 func (s *Server) publishJob(j *Job) {
 	v := j.View()
+	s.flight.Job(time.Now(), v.ID, v.TraceID, string(v.State))
 	data, err := json.Marshal(map[string]any{
 		"id": v.ID, "type": v.Type, "state": v.State,
 	})
@@ -202,7 +298,7 @@ func (s *Server) runJob(j *Job) {
 	j.rec.Add(obs.RankService, -1, obs.PhaseQueueWait, "", j.queuedAt, j.rec.Clock())
 	s.tele.RecordQueueWait(claimed, claimed.Sub(j.submitted))
 	s.tele.RecordDepth(claimed, s.queue.Depth())
-	s.log.Info("job started", "job", j.id, "type", j.req.Type)
+	s.log.Info("job started", jobArgs(j)...)
 	s.publishJob(j)
 	start := time.Now()
 	exec := j.rec.Begin(obs.RankService, -1, obs.PhaseWorkerExec, "")
@@ -221,27 +317,50 @@ func (s *Server) runJob(j *Job) {
 			n := float64(sr.N)
 			s.tele.RecordPoints(now, n*n*n*float64(sr.Steps))
 		}
+		var rep *obs.Report
 		if j.rec != nil {
 			// The pair totals here match the report embedded in the result
 			// document exactly: the service-level spans recorded since are
 			// not part of any overlap pair.
-			rep := obs.BuildReport(j.rec.Spans())
-			s.tele.RecordOverlap(now, &rep)
+			r := obs.BuildReport(j.rec.Spans())
+			rep = &r
+			s.tele.RecordOverlap(now, rep)
+			s.flight.Span(now, j.id, j.traceID,
+				fmt.Sprintf("%d spans over %d ranks", rep.Spans, len(rep.Ranks)))
 		}
-		s.log.Info("job finished", "job", j.id, "type", j.req.Type,
-			"state", StateDone, "duration", elapsed)
+		s.observeJob(now, j, elapsed, rep)
+		s.log.Info("job finished", jobArgs(j, "state", StateDone, "duration", elapsed)...)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateCancelled, nil, err.Error(), now)
 		s.metrics.CountJob(j.req.Type, outcomeCancelled)
-		s.log.Info("job finished", "job", j.id, "type", j.req.Type,
-			"state", StateCancelled, "duration", elapsed)
+		s.log.Info("job finished", jobArgs(j, "state", StateCancelled, "duration", elapsed)...)
 	default:
 		j.finish(StateFailed, nil, err.Error(), now)
 		s.metrics.CountJob(j.req.Type, outcomeFailed)
-		s.log.Error("job finished", "job", j.id, "type", j.req.Type,
-			"state", StateFailed, "duration", elapsed, "error", err)
+		s.log.Error("job finished", jobArgs(j, "state", StateFailed, "duration", elapsed, "error", err)...)
 	}
 	s.publishJob(j)
+}
+
+// observeJob feeds one successfully finished job to the anomaly engine,
+// carrying the shape parameters the model-drift rule scores against the
+// perf model and the traced report (nil when untraced) the straggler and
+// drift rules read.
+func (s *Server) observeJob(now time.Time, j *Job, elapsed time.Duration, rep *obs.Report) {
+	if !s.engine.Enabled() {
+		return
+	}
+	sample := flight.JobSample{
+		JobID: j.id, TraceID: j.traceID, Type: j.req.Type,
+		Elapsed: elapsed, Report: rep,
+	}
+	if sr := j.req.Simulate; j.req.Type == TypeSimulate && sr != nil {
+		sample.Kind = sr.Kind
+		sample.N = sr.N
+		sample.Tasks = sr.Tasks
+		sample.Threads = sr.Threads
+	}
+	s.engine.ObserveJob(now, sample)
 }
 
 // RetryAfter estimates how long a rejected client should wait: the queue
@@ -284,6 +403,10 @@ func (s *Server) StatsSnapshot() TelemetryStats {
 		WorkerGauges{Busy: s.pool.Busy(), Total: s.pool.Workers()},
 	)
 	st.Node = s.cfg.NodeID
+	if s.engine.Enabled() {
+		a := s.engine.Anomalies()
+		st.Anomalies = &a
+	}
 	return st
 }
 

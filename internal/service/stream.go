@@ -54,6 +54,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	// Heartbeats are SSE comment lines (leading ':'), which clients must
+	// ignore by spec — they keep idle connections alive through proxies
+	// without ever surfacing as events.
+	hb := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer hb.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
@@ -68,6 +73,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		case <-tick.C:
 			if !writeStats() {
+				return
+			}
+			fl.Flush()
+		case <-hb.C:
+			if _, err := w.Write([]byte(": heartbeat\n\n")); err != nil {
 				return
 			}
 			fl.Flush()

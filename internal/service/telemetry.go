@@ -3,6 +3,7 @@ package service
 import (
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
@@ -129,6 +130,9 @@ type TelemetryStats struct {
 	Points     telemetry.Stats            `json:"points"`
 	// PointsPerSec is window throughput: grid-point updates per second.
 	PointsPerSec float64 `json:"points_per_sec"`
+	// Anomalies summarizes the flight anomaly engine (nil when flight is
+	// disabled): totals, per-rule counts, and the retained history.
+	Anomalies *flight.AnomalyStats `json:"anomalies,omitempty"`
 }
 
 // Stats snapshots every window at now.
