@@ -14,11 +14,17 @@ fi
 go vet ./...
 
 # advectlint gate: the project-invariant static analyzer suite
-# (internal/lint + cmd/advectlint) must report nothing. Findings print as
-# file:line:col: [analyzer] message; audited exceptions need an
-# "//advect:nolint <analyzer> <reason>" directive.
+# (internal/lint + cmd/advectlint) must report nothing. The run emits the
+# machine-readable report and archives it at ${TMPDIR}/advectlint.json
+# (count 0 on a clean tree) so CI artifacts carry the analyzer set and
+# findings; on failure the report is printed before the gate trips.
+# Audited exceptions need an "//advect:nolint <analyzer> <reason>"
+# directive.
 go build -o "${TMPDIR:-/tmp}/advectlint" ./cmd/advectlint
-"${TMPDIR:-/tmp}/advectlint" ./...
+if ! "${TMPDIR:-/tmp}/advectlint" -json ./... > "${TMPDIR:-/tmp}/advectlint.json"; then
+    cat "${TMPDIR:-/tmp}/advectlint.json" >&2
+    exit 1
+fi
 
 # Self-check: the analyzer test fixtures live under internal/lint/testdata
 # and must stay invisible to the module build (the go tool skips testdata

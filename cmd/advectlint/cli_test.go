@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -43,7 +44,7 @@ func TestAdvectlintList(t *testing.T) {
 	if err != nil {
 		t.Fatalf("advectlint -list: %v\n%s", err, out)
 	}
-	for _, name := range []string{"nilsafe", "clockdiscipline", "hotpath", "ctxflow", "lockheld"} {
+	for _, name := range []string{"nilsafe", "clockdiscipline", "hotpath", "ctxflow", "lockheld", "lockorder", "goroutinelife", "ssedisc"} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out)
 		}
@@ -72,6 +73,141 @@ func Root() context.Context { return context.Background() }
 	s := string(out)
 	if !strings.Contains(s, "[ctxflow]") || !strings.Contains(s, "lib.go:5") {
 		t.Fatalf("diagnostic missing or misplaced:\n%s", s)
+	}
+}
+
+// TestAdvectlintFlagsLockOrderInversion seeds a scratch module with a
+// cross-package lock-order inversion — pkga orders A before B, pkgb
+// reaches A under B through a helper — and expects exit 1 with the cycle
+// and both acquisition chains named.
+func TestAdvectlintFlagsLockOrderInversion(t *testing.T) {
+	bin := buildLint(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "locks", "locks.go"), `package locks
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// GrabA is the helper the inverted path goes through.
+func GrabA() {
+	MuA.Lock()
+	MuA.Unlock()
+}
+`)
+	writeFile(t, filepath.Join(dir, "pkga", "pkga.go"), `package pkga
+
+import "scratch/locks"
+
+func AB() {
+	locks.MuA.Lock()
+	defer locks.MuA.Unlock()
+	locks.MuB.Lock()
+	locks.MuB.Unlock()
+}
+`)
+	writeFile(t, filepath.Join(dir, "pkgb", "pkgb.go"), `package pkgb
+
+import "scratch/locks"
+
+func BA() {
+	locks.MuB.Lock()
+	defer locks.MuB.Unlock()
+	locks.GrabA()
+}
+`)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected non-zero exit on lock-order inversion, output:\n%s", out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"[lockorder]",
+		"potential deadlock: lock-order cycle locks.MuA → locks.MuB → locks.MuA",
+		"in pkga.AB",
+		"via pkgb.BA → locks.GrabA",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestAdvectlintJSON runs -json over a seeded module and checks the report
+// structure: findings with root-relative paths, the analyzer list, and the
+// exit-code contract.
+func TestAdvectlintJSON(t *testing.T) {
+	bin := buildLint(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "lib", "lib.go"), `package lib
+
+import "context"
+
+func Root() context.Context { return context.Background() }
+`)
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = dir
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	var rep struct {
+		Tool      string   `json:"tool"`
+		Module    string   `json:"module"`
+		Packages  int      `json:"packages"`
+		Analyzers []string `json:"analyzers"`
+		Findings  []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout.String())
+	}
+	if rep.Tool != "advectlint" || rep.Module != "scratch" || rep.Packages != 1 {
+		t.Errorf("report header = %q/%q/%d, want advectlint/scratch/1", rep.Tool, rep.Module, rep.Packages)
+	}
+	if len(rep.Analyzers) != 8 {
+		t.Errorf("analyzers = %v, want all 8", rep.Analyzers)
+	}
+	if rep.Count != 1 || len(rep.Findings) != 1 {
+		t.Fatalf("want exactly one finding, got count=%d findings=%v", rep.Count, rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.File != filepath.Join("lib", "lib.go") || f.Line != 5 || f.Analyzer != "ctxflow" {
+		t.Errorf("finding = %+v, want lib/lib.go:5 ctxflow", f)
+	}
+}
+
+// TestAdvectlintJSONClean pins the clean-report shape CI archives: zero
+// count, empty (not null) findings array, exit zero.
+func TestAdvectlintJSONClean(t *testing.T) {
+	bin := buildLint(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "lib", "lib.go"), "package lib\n\nfunc Fine() int { return 1 }\n")
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("want exit 0 on clean module: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, `"count": 0`) || !strings.Contains(s, `"findings": []`) {
+		t.Errorf("clean report malformed:\n%s", s)
 	}
 }
 

@@ -179,6 +179,25 @@ func main() {
 	fmt.Fprintln(w, "handoff). Wall-clock spans are rebased across processes; sim-clock")
 	fmt.Fprintln(w, "spans carry the simulated device's virtual time and are never")
 	fmt.Fprintln(w, "conflated with it.")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "## Static concurrency checks")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Everything above leans on concurrency — overlapped phases in the")
+	fmt.Fprintln(w, "runners, worker pools and SSE fan-out in the daemon, failover in the")
+	fmt.Fprintln(w, "gateway — so the repo checks its concurrency contracts by machine.")
+	fmt.Fprintln(w, "`cmd/advectlint` (a stdlib-only analyzer framework in `internal/lint`)")
+	fmt.Fprintln(w, "gates CI on eight invariants; the concurrency half: `lockorder` builds")
+	fmt.Fprintln(w, "the module-wide lock acquisition graph — across packages, through call")
+	fmt.Fprintln(w, "chains — and reports any cycle as a potential deadlock with both")
+	fmt.Fprintln(w, "acquisition paths named; `goroutinelife` requires every `go` statement")
+	fmt.Fprintln(w, "outside `main` to be tied to a context, WaitGroup, or done channel (or")
+	fmt.Fprintln(w, "carry an audited `//advect:nolint` with its reason); `lockheld` bans")
+	fmt.Fprintln(w, "blocking under a mutex; `ssedisc` enforces handler write discipline —")
+	fmt.Fprintln(w, "no `WriteHeader` after the body, flushes only on complete SSE frames,")
+	fmt.Fprintln(w, "stream loops that observe cancellation. Findings are machine-readable")
+	fmt.Fprintln(w, "(`advectlint -json`, archived by `ci.sh`), and every rule is pinned by")
+	fmt.Fprintln(w, "fixtures under `internal/lint/testdata`. See README \"Static analysis\".")
 }
 
 // driftTable tabulates the model-side hidden-communication expectation

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLife builds the analyzer enforcing goroutine lifecycles: every
+// `go` statement outside package main (tests never reach the loader) must
+// be visibly tied to a shutdown or completion path. A launch is tied when
+// the goroutine's body — the `go` literal's own body, or the body of a
+// same-package named callee — does any of:
+//
+//   - reference a context.Context (a parameter, capture, or field like
+//     s.baseCtx: deriving from a context is observing cancellation)
+//   - signal a sync.WaitGroup (Done, deferred or not)
+//   - close a channel or send on one (completion signalling)
+//   - receive from or range over a channel (a done/work channel is the
+//     goroutine's own stop condition)
+//
+// or when the `go` call passes a context.Context argument to its callee.
+// Anything else is a fire-and-forget leak candidate and must either gain
+// one of the forms above or carry an audited
+// //advect:nolint goroutinelife <reason>. The tie must be visible one
+// level deep — indirection through another call is deliberately not
+// credited, so a refactor cannot silently orphan a goroutine.
+func GoroutineLife() *Analyzer {
+	a := &Analyzer{
+		Name: "goroutinelife",
+		Doc:  "every go statement outside main is tied to a context, WaitGroup, or done channel",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Types.Name() == "main" {
+			return
+		}
+		// Same-package function bodies, for `go f()` / `go s.loop()`.
+		bodies := map[*types.Func]*ast.BlockStmt{}
+		for _, fd := range funcDecls(pass.Pkg) {
+			if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok && fd.Body != nil {
+				bodies[fn] = fd.Body
+			}
+		}
+		for _, fd := range funcDecls(pass.Pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if goStmtTied(pass, g, bodies) {
+					return true
+				}
+				pass.Reportf(g.Pos(), "goroutine is not tied to a lifecycle: receive/derive a context.Context, signal a WaitGroup or done channel, or audit it with //advect:nolint goroutinelife <reason>")
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// goStmtTied reports whether the launch is tied to a lifecycle.
+func goStmtTied(pass *Pass, g *ast.GoStmt, bodies map[*types.Func]*ast.BlockStmt) bool {
+	// A context argument handed to the goroutine counts regardless of
+	// what we can see of the callee.
+	for _, arg := range g.Call.Args {
+		if tv, ok := pass.Pkg.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := callee(pass, g.Call); fn != nil {
+			body = bodies[fn] // nil when cross-package or interface: not visible
+		}
+	}
+	if body == nil {
+		return false
+	}
+	return hasLifecycleSignal(pass, body)
+}
+
+// hasLifecycleSignal scans a function body for any of the accepted
+// lifecycle forms.
+func hasLifecycleSignal(pass *Pass, body *ast.BlockStmt) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case ast.Expr:
+			if tv, ok := info.Types[n]; ok && isContextType(tv.Type) {
+				found = true
+				return false
+			}
+			if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+				found = true // channel receive: a stop/work channel
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && id.Name == "close" {
+					// Accept only the builtin close, not a user function
+					// that happens to share its name.
+					if _, isB := info.Uses[id].(*types.Builtin); isB || info.Uses[id] == nil {
+						found = true
+						return false
+					}
+				}
+				if fn := callee(pass, call); fn != nil {
+					if rpkg, rname, ok := recvTypeName(fn); ok && rpkg == "sync" && rname == "WaitGroup" && fn.Name() == "Done" {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

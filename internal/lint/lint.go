@@ -3,8 +3,18 @@
 // no x/tools) that loads every package of the module, runs a registry of
 // analyzers encoding project invariants — nil-safe recorder methods,
 // wall-vs-virtual clock discipline, allocation-free hot paths, context
-// threading, and lock-held blocking — and reports findings as
+// threading, lock-held blocking, module-wide lock ordering, goroutine
+// lifecycles, and SSE/handler write discipline — and reports findings as
 // file:line:col: [analyzer] message diagnostics.
+//
+// Analyzers come in two halves. Run inspects one type-checked package at
+// a time; packages are presented in topological dependency order, so a
+// Run pass may export object facts about the functions it has seen
+// (Pass.ExportObjectFact) knowing its callees' packages were visited
+// first. Finish, when set, runs once after every package, sees the whole
+// module plus every exported fact (ModulePass), and is where
+// inter-procedural analyzers like lockorder resolve their cross-package
+// graphs.
 //
 // Two directive comments steer the analyzers:
 //
@@ -17,13 +27,17 @@
 //	    on (or immediately above) a flagged line suppresses that one
 //	    analyzer's diagnostic. The reason is mandatory — an escape hatch
 //	    without an audit trail is itself a finding — and naming an
-//	    analyzer the registry does not know is flagged too.
+//	    analyzer the registry does not know is flagged too. The block
+//	    form "/* advect:nolint <analyzer> <reason> */" works in the same
+//	    positions, and one comment may carry several directives back to
+//	    back when one line trips more than one analyzer.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -42,18 +56,34 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one named invariant checker. Run inspects a single
-// type-checked package and reports findings through the pass.
+// type-checked package and reports findings through the pass; packages
+// arrive in topological dependency order, so facts a Run pass exports
+// about an object are visible when its importers are visited. Finish,
+// when non-nil, runs once after the last package with the whole module
+// and every fact in view — the inter-procedural half.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name   string
+	Doc    string
+	Run    func(*Pass)
+	Finish func(*ModulePass)
 }
+
+// factKey scopes an exported fact to the analyzer that produced it, so
+// two analyzers can annotate the same object independently.
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// factSet is the shared inter-procedural fact store of one lint run.
+type factSet map[factKey]any
 
 // Pass carries one (package, analyzer) pairing through a Run call.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	diags    *[]Diagnostic
+	facts    factSet
 }
 
 // Reportf records a finding at pos.
@@ -65,6 +95,65 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ExportObjectFact attaches an analyzer-scoped fact to obj — typically a
+// *types.Func summary — for the Finish pass (or a later package's Run
+// pass) to read. Object identity is shared across the whole load: the
+// module loader type-checks every package against the same imported
+// package instances, so a callee's *types.Func is the same object no
+// matter which package the call site is in.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	p.facts[factKey{p.Analyzer.Name, obj}] = fact
+}
+
+// ObjectFact returns the fact this analyzer exported for obj, if any.
+func (p *Pass) ObjectFact(obj types.Object) (any, bool) {
+	f, ok := p.facts[factKey{p.Analyzer.Name, obj}]
+	return f, ok
+}
+
+// ModulePass is the Finish-stage view: every package of the load plus the
+// facts the per-package passes exported. All packages of one Run share a
+// FileSet, so positions from any package resolve here.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	fset     *token.FileSet
+	diags    *[]Diagnostic
+	facts    factSet
+}
+
+// Reportf records a module-level finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Position resolves a token.Pos against the load's shared FileSet.
+func (p *ModulePass) Position(pos token.Pos) token.Position {
+	return p.fset.Position(pos)
+}
+
+// ObjectFact returns the fact this analyzer exported for obj, if any.
+func (p *ModulePass) ObjectFact(obj types.Object) (any, bool) {
+	f, ok := p.facts[factKey{p.Analyzer.Name, obj}]
+	return f, ok
+}
+
+// AllObjectFacts returns every (object, fact) pair this analyzer
+// exported, in unspecified order.
+func (p *ModulePass) AllObjectFacts() map[types.Object]any {
+	out := map[types.Object]any{}
+	for k, v := range p.facts {
+		if k.analyzer == p.Analyzer.Name {
+			out[k.obj] = v
+		}
+	}
+	return out
+}
+
 // nolintDirective is one parsed //advect:nolint comment.
 type nolintDirective struct {
 	pos      token.Pos
@@ -74,7 +163,7 @@ type nolintDirective struct {
 }
 
 const (
-	nolintPrefix  = "//advect:nolint"
+	nolintMarker  = "advect:nolint"
 	hotpathMarker = "//advect:hotpath"
 )
 
@@ -94,88 +183,146 @@ func HasDirective(fd *ast.FuncDecl, name string) bool {
 	return false
 }
 
-// parseNolints extracts every //advect:nolint directive from the package.
-// A directive suppresses findings on its own source line, so it can sit at
-// the end of the flagged line or on a line of its own immediately above.
+// directiveBody extracts the "advect:nolint ..." payload of a comment, in
+// either the line form "//advect:nolint ..." or the block form
+// "/* advect:nolint ... */". Comments that merely mention the marker in
+// prose (doc comments, want expectations) don't start with it after the
+// comment opener and are ignored.
+func directiveBody(text string) (string, bool) {
+	if rest, ok := strings.CutPrefix(text, "//"); ok {
+		rest = strings.TrimSpace(rest)
+		if strings.HasPrefix(rest, nolintMarker) {
+			return rest, true
+		}
+		return "", false
+	}
+	if inner, ok := strings.CutPrefix(text, "/*"); ok {
+		inner = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(inner), "*/"))
+		if strings.HasPrefix(inner, nolintMarker) {
+			return inner, true
+		}
+	}
+	return "", false
+}
+
+// parseNolints extracts every advect:nolint directive from the package.
+// A directive suppresses findings on its own source line, so it can sit
+// at the end of the flagged line (line or block comment form) or on a
+// line of its own immediately above. One comment may chain several
+// directives — "//advect:nolint a why advect:nolint b why" — when a line
+// trips more than one analyzer.
 func parseNolints(pkg *Package) []nolintDirective {
 	var out []nolintDirective
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(c.Text)
-				if !strings.HasPrefix(text, nolintPrefix) {
+				body, ok := directiveBody(strings.TrimSpace(c.Text))
+				if !ok {
 					continue
 				}
-				rest := strings.TrimPrefix(text, nolintPrefix)
 				// A reason never embeds "//": anything after one is a
 				// trailing comment (the fixtures' "// want" markers).
-				if i := strings.Index(rest, "//"); i >= 0 {
-					rest = rest[:i]
+				if i := strings.Index(body, "//"); i >= 0 {
+					body = body[:i]
 				}
-				d := nolintDirective{pos: c.Pos(), line: pkg.Fset.Position(c.Pos()).Line}
-				fields := strings.Fields(rest)
-				if len(fields) > 0 {
-					d.analyzer = fields[0]
-					d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				pos := c.Pos()
+				line := pkg.Fset.Position(pos).Line
+				// Each advect:nolint occurrence starts one directive; its
+				// reason runs to the next occurrence or the comment's end.
+				// body begins with the marker, so the first split element
+				// is always empty and dropped.
+				for _, chunk := range strings.Split(body, nolintMarker)[1:] {
+					chunk = strings.TrimSpace(chunk)
+					d := nolintDirective{pos: pos, line: line}
+					fields := strings.Fields(chunk)
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+						d.reason = strings.TrimSpace(strings.TrimPrefix(chunk, fields[0]))
+					}
+					out = append(out, d)
 				}
-				out = append(out, d)
 			}
 		}
 	}
 	return out
 }
 
-// Run executes every analyzer over every package, applies the nolint
+// suppressKey identifies one (file, line, analyzer) suppression target.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Run executes every analyzer over every package (in the order given —
+// the module loader's topological order, so fact exporters see callees
+// first), then every Finish pass over the whole load, applies the nolint
 // directives, validates the directives themselves, and returns the
-// surviving diagnostics sorted by position.
+// surviving diagnostics sorted by position. All packages must share one
+// FileSet (LoadModule guarantees this; LoadDir loads are single-package).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var diags []Diagnostic
+	facts := factSet{}
+	var raw []Diagnostic
 	for _, pkg := range pkgs {
-		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw, facts: facts}
 			a.Run(pass)
 		}
-		nolints := parseNolints(pkg)
-		// A directive covers its own line and the line below it, so both
-		//   stmt // advect:nolint a r
-		// and
-		//   // advect:nolint a r
-		//   stmt
-		// work. Malformed or unknown directives become findings.
-		suppress := map[[2]interface{}]bool{} // {line, analyzer}
-		for _, d := range nolints {
+	}
+	if len(pkgs) > 0 {
+		for _, a := range analyzers {
+			if a.Finish == nil {
+				continue
+			}
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, fset: pkgs[0].Fset, diags: &raw, facts: facts}
+			a.Finish(mp)
+		}
+	}
+
+	// A directive covers its own line and the line below it, so both
+	//   stmt // advect:nolint a r
+	// and
+	//   // advect:nolint a r
+	//   stmt
+	// work. Malformed or unknown directives become findings. Suppression
+	// is keyed by file so module-level (Finish) diagnostics land on the
+	// same audit trail as per-package ones.
+	suppress := map[suppressKey]bool{}
+	for _, pkg := range pkgs {
+		for _, d := range parseNolints(pkg) {
+			pos := pkg.Fset.Position(d.pos)
 			switch {
 			case d.analyzer == "":
-				pkgDiags = append(pkgDiags, Diagnostic{
-					Pos: pkg.Fset.Position(d.pos), Analyzer: "nolint",
+				raw = append(raw, Diagnostic{
+					Pos: pos, Analyzer: "nolint",
 					Message: "malformed //advect:nolint: want \"//advect:nolint <analyzer> <reason>\"",
 				})
 			case !known[d.analyzer] && d.analyzer != "nolint":
-				pkgDiags = append(pkgDiags, Diagnostic{
-					Pos: pkg.Fset.Position(d.pos), Analyzer: "nolint",
+				raw = append(raw, Diagnostic{
+					Pos: pos, Analyzer: "nolint",
 					Message: fmt.Sprintf("//advect:nolint names unknown analyzer %q", d.analyzer),
 				})
 			case d.reason == "":
-				pkgDiags = append(pkgDiags, Diagnostic{
-					Pos: pkg.Fset.Position(d.pos), Analyzer: "nolint",
+				raw = append(raw, Diagnostic{
+					Pos: pos, Analyzer: "nolint",
 					Message: fmt.Sprintf("//advect:nolint %s is missing its reason: every suppression must say why", d.analyzer),
 				})
 			default:
-				suppress[[2]interface{}{d.line, d.analyzer}] = true
-				suppress[[2]interface{}{d.line + 1, d.analyzer}] = true
+				suppress[suppressKey{pos.Filename, d.line, d.analyzer}] = true
+				suppress[suppressKey{pos.Filename, d.line + 1, d.analyzer}] = true
 			}
 		}
-		for _, d := range pkgDiags {
-			if suppress[[2]interface{}{d.Pos.Line, d.Analyzer}] {
-				continue
-			}
-			diags = append(diags, d)
+	}
+	var diags []Diagnostic
+	for _, d := range raw {
+		if suppress[suppressKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
 		}
+		diags = append(diags, d)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

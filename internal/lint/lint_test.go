@@ -144,6 +144,29 @@ func TestLockheldFixture(t *testing.T) {
 	runFixture(t, "lockheld", "fixture/lockheld", []*lint.Analyzer{lint.LockHeld()})
 }
 
+// TestLockOrderFixture seeds an A→B/B→A inversion across two files — one
+// direct, one through a call chain — and expects a single cycle report
+// naming both acquisition paths.
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, "lockorder", "fixture/lockorder", []*lint.Analyzer{lint.LockOrder()})
+}
+
+func TestGoroutineLifeFixture(t *testing.T) {
+	runFixture(t, "goroutinelife", "fixture/goroutinelife", []*lint.Analyzer{lint.GoroutineLife()})
+}
+
+func TestSSEDiscFixture(t *testing.T) {
+	runFixture(t, "ssedisc", "fixture/ssedisc", []*lint.Analyzer{lint.SSEDisc()})
+}
+
+// TestNolintEdgeFixture covers the corners of the escape hatch — block
+// comments, directive above vs trailing, two directives chained on one
+// line — under the default registry, loaded as an internal/gpusim path so
+// one line can trip lockheld and clockdiscipline at once.
+func TestNolintEdgeFixture(t *testing.T) {
+	runFixture(t, "nolintedge", "fixture/internal/gpusim", lint.Default())
+}
+
 // TestRepoClean is the in-process version of the CI gate: the default
 // registry over the whole module must report nothing. Any intentional
 // exception must carry an audited //advect:nolint directive instead.
@@ -177,7 +200,7 @@ func TestDefaultRegistry(t *testing.T) {
 			t.Errorf("analyzer %s has no doc line", a.Name)
 		}
 	}
-	want := []string{"nilsafe", "clockdiscipline", "hotpath", "ctxflow", "lockheld"}
+	want := []string{"nilsafe", "clockdiscipline", "hotpath", "ctxflow", "lockheld", "lockorder", "goroutinelife", "ssedisc"}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Fatalf("registry = %v, want %v", names, want)
 	}

@@ -10,9 +10,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module (or a test
@@ -47,8 +49,13 @@ func stdImporter(fset *token.FileSet) types.Importer {
 }
 
 // moduleImporter resolves module-internal paths from the packages already
-// type-checked this load and everything else via the source importer.
+// type-checked this load and everything else via the source importer. The
+// done map is written only between topo levels (never while checks are in
+// flight) so concurrent same-level type-checking reads it without locks;
+// the source importer underneath is not concurrency-safe and is
+// serialized by mu.
 type moduleImporter struct {
+	mu   sync.Mutex
 	std  types.Importer
 	done map[string]*types.Package
 }
@@ -57,6 +64,8 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	if p, ok := m.done[path]; ok {
 		return p, nil
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.std.Import(path)
 }
 
@@ -122,9 +131,11 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 }
 
 // LoadModule parses and type-checks every non-test package under root (the
-// module root), in dependency order, and returns them sorted by import
-// path. testdata, hidden, and underscore-prefixed directories are skipped,
-// exactly as the go tool skips them.
+// module root) and returns them in topological dependency order (imports
+// before importers — the order the inter-procedural facts passes rely
+// on). Packages that don't depend on each other type-check concurrently,
+// level by level. testdata, hidden, and underscore-prefixed directories
+// are skipped, exactly as the go tool skips them.
 func LoadModule(root string) ([]*Package, error) {
 	modPath, err := ModulePath(root)
 	if err != nil {
@@ -173,7 +184,11 @@ func LoadModule(root string) ([]*Package, error) {
 				if err != nil {
 					continue
 				}
-				if strings.HasPrefix(p, modPath+"/") && !seen[p] {
+				// The module root package's own path has no "/" suffix —
+				// missing it would let an importer type-check first and
+				// the source importer mint a second, incompatible
+				// instance of the root package.
+				if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
 					seen[p] = true
 					rp.imports = append(rp.imports, p)
 				}
@@ -227,21 +242,86 @@ func LoadModule(root string) ([]*Package, error) {
 		}
 	}
 
-	// Type-check in dependency order.
+	// Group the topological order into levels: a package's level is one
+	// past its deepest module-internal dependency, so every package in a
+	// level depends only on lower levels and the whole level can
+	// type-check concurrently.
+	level := map[string]int{}
+	maxLevel := 0
+	for _, p := range order {
+		lv := 0
+		for _, d := range raw[p].imports {
+			if _, ok := raw[d]; ok && level[d]+1 > lv {
+				lv = level[d] + 1
+			}
+		}
+		level[p] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	buckets := make([][]string, maxLevel+1)
+	for _, p := range order { // keeps the deterministic topo order within a level
+		buckets[level[p]] = append(buckets[level[p]], p)
+	}
+
+	// Type-check level by level, packages within a level in parallel. The
+	// FileSet is concurrency-safe; module-internal imports hit the done
+	// map (complete for all lower levels), and stdlib imports serialize
+	// through the locked source importer. Workers are capped at
+	// GOMAXPROCS: on a single-core host the level degenerates to the
+	// sequential walk with no goroutine or lock overhead.
 	imp := &moduleImporter{std: stdImporter(fset), done: map[string]*types.Package{}}
 	var pkgs []*Package
-	for _, p := range order {
-		rp := raw[p]
-		info := newInfo()
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(p, fset, rp.files, info)
-		if err != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %w", p, err)
+	for _, bucket := range buckets {
+		checked := make([]*Package, len(bucket))
+		errs := make([]error, len(bucket))
+		checkOne := func(i int) {
+			p := bucket[i]
+			rp := raw[p]
+			info := newInfo()
+			conf := types.Config{Importer: imp}
+			tpkg, err := conf.Check(p, fset, rp.files, info)
+			if err != nil {
+				errs[i] = fmt.Errorf("lint: type-checking %s: %w", p, err)
+				return
+			}
+			checked[i] = &Package{Path: p, Fset: fset, Files: rp.files, Types: tpkg, Info: info}
 		}
-		imp.done[p] = tpkg
-		pkgs = append(pkgs, &Package{Path: p, Fset: fset, Files: rp.files, Types: tpkg, Info: info})
+		if workers := min(runtime.GOMAXPROCS(0), len(bucket)); workers <= 1 {
+			for i := range bucket {
+				checkOne(i)
+			}
+		} else {
+			next := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range next {
+						checkOne(i)
+					}
+				}()
+			}
+			for i := range bucket {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, pkg := range checked {
+			imp.done[pkg.Path] = pkg.Types
+			pkgs = append(pkgs, pkg)
+		}
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	// pkgs is in topological dependency order — the order Run's analyzers
+	// rely on to export facts about callees before their callers appear.
 	return pkgs, nil
 }
 

@@ -1,0 +1,652 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide lock-order analyzer: the
+// inter-procedural deadlock check. The per-package Run pass walks every
+// function in dependency order and exports a fact per function — which
+// locks it acquires, which it acquires while already holding another,
+// and which callees it invokes under a lock. The Finish pass then stitches
+// the facts into one lock-order graph over the whole module (an edge
+// A → B means "B was acquired while A was held", with acquisitions
+// resolved through direct static callees, any call depth) and reports
+// every cycle as a potential deadlock, naming each edge's acquisition
+// chain so both sides of an inversion are visible in one message.
+//
+// Locks are identified by their declaration — the struct field or package
+// variable — so the analysis is instance-insensitive: two locks of the
+// same field on different values collapse to one node. Self-edges are
+// therefore not reported (they are usually different instances), and
+// function literals are separate analysis roots with no held locks, the
+// same under-approximation lockheld makes.
+func LockOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "no cycles in the module-wide lock acquisition order (potential deadlock)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, fd := range funcDecls(pass.Pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			facts := &lockFuncFacts{name: shortFuncName(fn)}
+			w := &orderWalker{pass: pass, facts: facts}
+			w.walkStmts(fd.Body.List, nil)
+			// Function literals run on their own goroutine or schedule:
+			// fresh roots, no inherited held set.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					w.walkStmts(fl.Body.List, nil)
+				}
+				return true
+			})
+			if len(facts.acquires) > 0 || len(facts.calls) > 0 {
+				pass.ExportObjectFact(fn, facts)
+			}
+		}
+	}
+	a.Finish = finishLockOrder
+	return a
+}
+
+// lockSite is one lock acquisition: the lock's declaration object, its
+// human-readable name, and where it happened.
+type lockSite struct {
+	obj     types.Object
+	display string
+	pos     token.Pos
+}
+
+// lockEdge is a direct within-function ordering: to was acquired at pos
+// while from was held.
+type lockEdge struct {
+	from, to lockSite
+	pos      token.Pos
+}
+
+// lockCall is a call to a statically-resolved function, with the locks
+// held at the call site (possibly none — the call graph also feeds the
+// transitive acquire sets).
+type lockCall struct {
+	fn   *types.Func
+	held []lockSite
+	pos  token.Pos
+}
+
+// lockFuncFacts is the exported per-function summary.
+type lockFuncFacts struct {
+	name     string
+	acquires []lockSite
+	edges    []lockEdge
+	calls    []lockCall
+}
+
+// orderWalker walks one function, tracking the held-lock set along each
+// structural path (clone at branches, intersect at merges — the same
+// under-approximation as lockheld, so manual unlock-and-return branches
+// never fabricate edges).
+type orderWalker struct {
+	pass  *Pass
+	facts *lockFuncFacts
+}
+
+// heldSet is the ordered list of currently held locks.
+type heldSet []lockSite
+
+func (h heldSet) clone() heldSet { return append(heldSet(nil), h...) }
+
+func (h heldSet) remove(obj types.Object) heldSet {
+	out := h[:0:len(h)]
+	for _, s := range h {
+		if s.obj != obj {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// intersect keeps locks held in both sets, preserving h's order.
+func (h heldSet) intersect(o heldSet) heldSet {
+	var out heldSet
+	for _, s := range h {
+		for _, t := range o {
+			if s.obj == t.obj {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// lockIdent resolves the mutex operand of a Lock/Unlock selector call to
+// the lock's identity object and display name. For "x.mu.Lock()" the
+// identity is the mu field's declaration (shared by every instance); for
+// a package-level "mu.Lock()" it is the variable; for a promoted
+// "s.Lock()" on an embedded mutex it falls back to the receiver's named
+// type.
+func lockIdent(pass *Pass, sel *ast.SelectorExpr) (types.Object, string, bool) {
+	info := pass.Pkg.Info
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		obj := info.Uses[x.Sel]
+		if s, ok := info.Selections[x]; ok && s.Obj() != nil {
+			obj = s.Obj()
+		}
+		if obj == nil {
+			return nil, "", false
+		}
+		display := obj.Name()
+		if tv, ok := info.Types[x.X]; ok {
+			display = namedTypeDisplay(tv.Type) + "." + obj.Name()
+		} else if pn, isPkg := info.Uses[firstIdent(x.X)].(*types.PkgName); isPkg && pn != nil {
+			display = pn.Imported().Name() + "." + obj.Name()
+		}
+		return obj, display, true
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return nil, "", false
+		}
+		display := obj.Name()
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			display = obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj, display, true
+	default:
+		// Promoted embedded mutex or an expression we cannot key: use the
+		// operand type's declaration when it is named.
+		if tv, ok := info.Types[sel.X]; ok {
+			t := tv.Type
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				return named.Obj(), namedTypeDisplay(tv.Type), true
+			}
+		}
+		return nil, "", false
+	}
+}
+
+// firstIdent returns e when it is an identifier, else nil.
+func firstIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// namedTypeDisplay renders a (possibly pointered) named type as
+// "pkg.Type"; other types fall back to their string form.
+func namedTypeDisplay(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}
+
+// shortFuncName renders fn as "pkg.Name" or "(*pkg.Type).Name".
+func shortFuncName(fn *types.Func) string {
+	if rpkg, rname, ok := recvTypeName(fn); ok {
+		base := rname
+		if i := strings.LastIndex(rpkg, "/"); i >= 0 {
+			rpkg = rpkg[i+1:]
+		}
+		return "(*" + rpkg + "." + base + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex Lock/Unlock variant.
+func (w *orderWalker) lockOp(call *ast.CallExpr) (op string, site lockSite, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", lockSite{}, false
+	}
+	fn, _ := w.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", lockSite{}, false
+	}
+	rpkg, rname, hasRecv := recvTypeName(fn)
+	if !hasRecv || rpkg != "sync" || (rname != "Mutex" && rname != "RWMutex") {
+		return "", lockSite{}, false
+	}
+	name := fn.Name()
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		obj, display, okID := lockIdent(w.pass, sel)
+		if !okID {
+			return "", lockSite{}, false
+		}
+		return name, lockSite{obj: obj, display: display, pos: call.Pos()}, true
+	}
+	return "", lockSite{}, false
+}
+
+// recordAcquire notes an acquisition: its own fact, plus a direct edge
+// from every currently held lock.
+func (w *orderWalker) recordAcquire(site lockSite, held heldSet) {
+	w.facts.acquires = append(w.facts.acquires, site)
+	for _, h := range held {
+		if h.obj != site.obj {
+			w.facts.edges = append(w.facts.edges, lockEdge{from: h, to: site, pos: site.pos})
+		}
+	}
+}
+
+// scanExpr records lock-relevant calls inside an arbitrary expression:
+// acquisitions in call arguments and resolvable callees with the current
+// held set. Function literals are separate roots and skipped here.
+func (w *orderWalker) scanExpr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if op, site, ok := w.lockOp(n); ok {
+				switch op {
+				case "Lock", "RLock":
+					// An acquisition inside an expression (rare) still
+					// orders after the held locks, but the held set for
+					// subsequent statements is handled by applyCall on
+					// statement-level calls only.
+					w.recordAcquire(site, held)
+				}
+				return true
+			}
+			if fn := callee(w.pass, n); fn != nil {
+				w.facts.calls = append(w.facts.calls, lockCall{fn: fn, held: held.clone(), pos: n.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// applyCall processes a statement-level call, returning the new held set.
+func (w *orderWalker) applyCall(call *ast.CallExpr, held heldSet) heldSet {
+	if op, site, ok := w.lockOp(call); ok {
+		switch op {
+		case "Lock", "RLock":
+			w.recordAcquire(site, held)
+			return append(held, site)
+		case "Unlock", "RUnlock":
+			return held.remove(site.obj)
+		}
+		return held
+	}
+	w.scanExpr(call, held)
+	return held
+}
+
+// walkStmts walks a statement list, threading the held set; it returns
+// (finalHeld, terminated).
+func (w *orderWalker) walkStmts(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.walkStmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *orderWalker) walkStmt(s ast.Stmt, held heldSet) (heldSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			return w.applyCall(call, held), false
+		}
+		w.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the function's end —
+		// exactly what the held set already models — and other deferred
+		// calls run with whatever is held then; approximate with the
+		// current held set for resolvable callees.
+		if op, _, ok := w.lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return held, false
+		}
+		w.scanExpr(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine runs with its own empty held set; its closure (if
+		// a literal) is walked as a separate root. A named callee still
+		// enters the call graph, with no held locks.
+		if fn := callee(w.pass, s.Call); fn != nil {
+			w.facts.calls = append(w.facts.calls, lockCall{fn: fn, pos: s.Call.Pos()})
+		}
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		bodyHeld, bodyTerm := w.walkStmts(s.Body.List, held.clone())
+		elseHeld, elseTerm := held.clone(), false
+		if s.Else != nil {
+			elseHeld, elseTerm = w.walkStmt(s.Else, elseHeld)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return held, true
+		case bodyTerm:
+			return elseHeld, false
+		case elseTerm:
+			return bodyHeld, false
+		default:
+			return bodyHeld.intersect(elseHeld), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, held.clone())
+		if s.Post != nil {
+			w.walkStmt(s.Post, held.clone())
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		w.walkStmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Tag, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+	}
+	return held, false
+}
+
+// orderEdge is one aggregated lock-order graph edge with a representative
+// acquisition site and the call chain that reaches it.
+type orderEdge struct {
+	from, to types.Object
+	pos      token.Pos
+	posn     token.Position
+	chain    string // e.g. "in (*service.Server).Submit" or "via (*cluster.Router).route → (*cluster.Membership).Snapshot"
+}
+
+// finishLockOrder assembles the module lock-order graph from the
+// per-function facts and reports each acquisition cycle once.
+func finishLockOrder(mp *ModulePass) {
+	byFn := map[*types.Func]*lockFuncFacts{}
+	for obj, f := range mp.AllObjectFacts() {
+		fn, ok := obj.(*types.Func)
+		facts, okF := f.(*lockFuncFacts)
+		if ok && okF {
+			byFn[fn] = facts
+		}
+	}
+
+	// Transitive acquire sets: every lock a function may take, directly
+	// or through any chain of statically resolved callees, with one
+	// representative chain + site per lock.
+	type acq struct {
+		site  lockSite
+		chain []string // function names from the entry function down to the acquirer
+	}
+	memo := map[*types.Func]map[types.Object]acq{}
+	onStack := map[*types.Func]bool{}
+	var transAcq func(fn *types.Func) map[types.Object]acq
+	transAcq = func(fn *types.Func) map[types.Object]acq {
+		if m, ok := memo[fn]; ok {
+			return m
+		}
+		if onStack[fn] {
+			return nil // recursion: the cycle's other pass covers it
+		}
+		facts := byFn[fn]
+		if facts == nil {
+			return nil
+		}
+		onStack[fn] = true
+		out := map[types.Object]acq{}
+		for _, s := range facts.acquires {
+			if _, ok := out[s.obj]; !ok {
+				out[s.obj] = acq{site: s, chain: []string{facts.name}}
+			}
+		}
+		for _, c := range facts.calls {
+			for obj, sub := range transAcq(c.fn) {
+				if _, ok := out[obj]; !ok {
+					out[obj] = acq{site: sub.site, chain: append([]string{facts.name}, sub.chain...)}
+				}
+			}
+		}
+		onStack[fn] = false
+		memo[fn] = out
+		return out
+	}
+
+	// Build the edge set: direct within-function edges plus call edges —
+	// anything a callee (transitively) acquires orders after every lock
+	// held at the call site.
+	display := map[types.Object]string{}
+	note := func(s lockSite) {
+		if d, ok := display[s.obj]; !ok || s.display < d {
+			display[s.obj] = s.display
+		}
+	}
+	edges := map[types.Object]map[types.Object]orderEdge{}
+	addEdge := func(e orderEdge) {
+		m := edges[e.from]
+		if m == nil {
+			m = map[types.Object]orderEdge{}
+			edges[e.from] = m
+		}
+		old, ok := m[e.to]
+		if !ok || posLess(e.posn, old.posn) {
+			m[e.to] = e
+		}
+	}
+	for _, facts := range byFn {
+		for _, e := range facts.edges {
+			note(e.from)
+			note(e.to)
+			addEdge(orderEdge{
+				from: e.from.obj, to: e.to.obj,
+				pos: e.pos, posn: mp.Position(e.pos),
+				chain: "in " + facts.name,
+			})
+		}
+		for _, c := range facts.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for obj, sub := range transAcq(c.fn) {
+				for _, h := range c.held {
+					if h.obj == obj {
+						continue
+					}
+					note(h)
+					note(sub.site)
+					addEdge(orderEdge{
+						from: h.obj, to: obj,
+						pos: c.pos, posn: mp.Position(c.pos),
+						chain: "via " + strings.Join(append([]string{facts.name}, sub.chain...), " → "),
+					})
+				}
+			}
+		}
+	}
+
+	reportLockCycles(mp, edges, display)
+}
+
+// posLess orders source positions.
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// reportLockCycles enumerates the simple cycles of the lock-order graph
+// (bounded length — lock graphs are tiny) and reports each once, at the
+// first edge of its canonical rotation, with every edge's acquisition
+// site and chain in the message.
+func reportLockCycles(mp *ModulePass, edges map[types.Object]map[types.Object]orderEdge, display map[types.Object]string) {
+	nodes := make([]types.Object, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return display[nodes[i]] < display[nodes[j]] })
+
+	const maxCycleLen = 6
+	seen := map[string]bool{}
+	var path []types.Object
+	onPath := map[types.Object]bool{}
+
+	var report func(cycle []types.Object)
+	report = func(cycle []types.Object) {
+		// Canonical rotation: start at the smallest display name.
+		start := 0
+		for i := range cycle {
+			if display[cycle[i]] < display[cycle[start]] {
+				start = i
+			}
+		}
+		rot := append(append([]types.Object(nil), cycle[start:]...), cycle[:start]...)
+		key := ""
+		for _, n := range rot {
+			key += display[n] + "→"
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+
+		names := make([]string, 0, len(rot)+1)
+		for _, n := range rot {
+			names = append(names, display[n])
+		}
+		names = append(names, display[rot[0]])
+		var parts []string
+		for i := range rot {
+			from, to := rot[i], rot[(i+1)%len(rot)]
+			e := edges[from][to]
+			parts = append(parts, fmt.Sprintf("%s acquired while holding %s at %s:%d (%s)",
+				display[to], display[from], filepath.Base(e.posn.Filename), e.posn.Line, e.chain))
+		}
+		first := edges[rot[0]][rot[1%len(rot)]]
+		mp.Reportf(first.pos, "potential deadlock: lock-order cycle %s: %s",
+			strings.Join(names, " → "), strings.Join(parts, "; "))
+	}
+
+	var dfs func(start, cur types.Object)
+	dfs = func(start, cur types.Object) {
+		if len(path) > maxCycleLen {
+			return
+		}
+		for _, nxt := range sortedTargets(edges[cur], display) {
+			if nxt == start {
+				report(append([]types.Object(nil), path...))
+				continue
+			}
+			// Only visit nodes ordered after start so each cycle is found
+			// from its smallest node exactly once.
+			if onPath[nxt] || display[nxt] < display[start] {
+				continue
+			}
+			onPath[nxt] = true
+			path = append(path, nxt)
+			dfs(start, nxt)
+			path = path[:len(path)-1]
+			delete(onPath, nxt)
+		}
+	}
+	for _, n := range nodes {
+		path = append(path[:0], n)
+		onPath = map[types.Object]bool{n: true}
+		dfs(n, n)
+	}
+}
+
+// sortedTargets returns m's keys in display-name order for deterministic
+// traversal.
+func sortedTargets(m map[types.Object]orderEdge, display map[types.Object]string) []types.Object {
+	out := make([]types.Object, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return display[out[i]] < display[out[j]] })
+	return out
+}

@@ -18,5 +18,8 @@ func Default() []*Analyzer {
 		Hotpath(),
 		CtxFlow(),
 		LockHeld(),
+		LockOrder(),
+		GoroutineLife(),
+		SSEDisc(),
 	}
 }

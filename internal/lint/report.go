@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// JSONFinding is one diagnostic as a machine-readable record. File paths
+// are module-root-relative so reports archived by CI compare across
+// checkouts.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the machine-readable result of one advectlint run: the
+// analyzer set that ran, how many packages it saw, and every surviving
+// finding in the same stable position order the text output uses — byte
+// for byte reproducible for a given tree, so CI can archive and diff it.
+type JSONReport struct {
+	Tool      string        `json:"tool"`
+	Module    string        `json:"module"`
+	Packages  int           `json:"packages"`
+	Analyzers []string      `json:"analyzers"`
+	Findings  []JSONFinding `json:"findings"`
+	Count     int           `json:"count"`
+}
+
+// NewJSONReport assembles the report for one run. root, when non-empty,
+// relativizes finding paths; diags must already be sorted (Run's output
+// is).
+func NewJSONReport(module string, packages int, analyzers []*Analyzer, diags []Diagnostic, root string) JSONReport {
+	rep := JSONReport{
+		Tool:     "advectlint",
+		Module:   module,
+		Packages: packages,
+		Findings: []JSONFinding{},
+		Count:    len(diags),
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = rel
+			}
+		}
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File: file, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON with a trailing newline.
+func (r JSONReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,448 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// SSEDisc builds the analyzer enforcing HTTP handler write discipline on
+// every function that takes a net/http.ResponseWriter:
+//
+//   - no WriteHeader after the body has been written — the header is gone
+//     with the first byte, the late call is a silent no-op plus a server
+//     log line;
+//   - Flush only on a complete SSE frame: when the last write before a
+//     Flush is a known string literal, it must end with the "\n\n" frame
+//     terminator, otherwise the client sees a torn event (writes the
+//     analyzer cannot see through — helpers, encoders — are exempt);
+//   - an unconditional `for {` loop that writes the response must observe
+//     request cancellation somewhere in its body (ctx.Done() or
+//     ctx.Err()), or it spins on a dead connection forever.
+//
+// The walk is structural and path-sensitive the same way lockheld is:
+// state is cloned at branches and merged at joins, and a branch that
+// terminates (return/break) drops out of the merge, so an early-return
+// error path that writes its own status never taints the success path.
+func SSEDisc() *Analyzer {
+	a := &Analyzer{
+		Name: "ssedisc",
+		Doc:  "handler discipline: no WriteHeader after body writes, Flush only on complete SSE frames, write loops observe cancellation",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var ft *ast.FuncType
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					ft, body = fn.Type, fn.Body
+				case *ast.FuncLit:
+					ft, body = fn.Type, fn.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				writers := responseWriterParams(pass, ft)
+				if len(writers) == 0 {
+					return true
+				}
+				w := &sseWalker{pass: pass, writers: writers}
+				w.walkStmts(body.List, sseState{})
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// responseWriterParams collects the parameter objects of type
+// net/http.ResponseWriter.
+func responseWriterParams(pass *Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Pkg.Info.Defs[name]
+			if obj != nil && isNamedFrom(obj.Type(), "net/http", "ResponseWriter") {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// isNamedFrom reports whether t is the named type pkgPath.name.
+func isNamedFrom(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// Frame classification of the most recent response write.
+const (
+	sseNone       = iota // nothing written yet
+	sseOpaque            // written through a call the analyzer can't see into
+	sseComplete          // literal write ending in "\n\n"
+	sseIncomplete        // literal write not ending in "\n\n"
+)
+
+// sseState is the walk state along one control-flow path.
+type sseState struct {
+	wrote bool // any response-body write has happened
+	last  int  // frame classification of the latest write
+}
+
+func mergeSSE(a, b sseState) sseState {
+	out := sseState{wrote: a.wrote || b.wrote}
+	if a.last == b.last {
+		out.last = a.last
+	} else {
+		// The branches disagree about the frame boundary; treat the join
+		// as opaque rather than flag a Flush that is fine on one path.
+		out.last = sseOpaque
+	}
+	return out
+}
+
+type sseWalker struct {
+	pass    *Pass
+	writers map[types.Object]bool
+}
+
+// isWriter resolves an expression to one of the tracked ResponseWriter
+// objects.
+func (w *sseWalker) isWriter(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := w.pass.Pkg.Info.Uses[id]
+	return obj != nil && w.writers[obj]
+}
+
+// walkStmts threads st through the statement list, returning the exit
+// state and whether the path terminated (return / branch out).
+func (w *sseWalker) walkStmts(list []ast.Stmt, st sseState) (sseState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.walkStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *sseWalker) walkStmt(s ast.Stmt, st sseState) (sseState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.scanExpr(s.X, st), false
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st = w.scanExpr(rhs, st)
+		}
+		// Track direct aliases: w2 := w keeps w2 under the same rules.
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, rhs := range s.Rhs {
+				if w.isWriter(rhs) {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok {
+						if obj := w.pass.Pkg.Info.Defs[id]; obj != nil {
+							w.writers[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = w.scanExpr(v, st)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.SendStmt:
+		st = w.scanExpr(s.Chan, st)
+		return w.scanExpr(s.Value, st), false
+	case *ast.IncDecStmt:
+		return w.scanExpr(s.X, st), false
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at an unknowable point of the write sequence
+		// and goroutine bodies are separate flows; neither advances the
+		// handler's own write state.
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.scanExpr(r, st)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		st = w.scanExpr(s.Cond, st)
+		thenSt, thenTerm := w.walkStmts(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.walkStmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeSSE(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = w.scanExpr(s.Cond, st)
+		}
+		if s.Cond == nil && w.bodyWrites(s.Body) && !observesContext(w.pass, s.Body) {
+			w.pass.Reportf(s.Pos(), "infinite response-write loop does not observe cancellation: select on ctx.Done() or check ctx.Err() in the loop body")
+		}
+		bodySt, _ := w.walkStmts(s.Body.List, st)
+		return mergeSSE(st, bodySt), false
+	case *ast.RangeStmt:
+		st = w.scanExpr(s.X, st)
+		bodySt, _ := w.walkStmts(s.Body.List, st)
+		return mergeSSE(st, bodySt), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.scanExpr(s.Tag, st)
+		}
+		return w.walkClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		return w.walkClauses(s.Body, st)
+	case *ast.SelectStmt:
+		return w.walkClauses(s.Body, st)
+	default:
+		return st, false
+	}
+}
+
+// walkClauses merges the case bodies of a switch/select; terminated
+// clauses drop out, and the no-match fallthrough path keeps the entry
+// state in the merge.
+func (w *sseWalker) walkClauses(body *ast.BlockStmt, st sseState) (sseState, bool) {
+	merged := st
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		cSt, cTerm := w.walkStmts(list, st)
+		if !cTerm {
+			merged = mergeSSE(merged, cSt)
+		}
+	}
+	return merged, false
+}
+
+// scanExpr processes every call inside e in source order, updating and
+// returning the state. FuncLit bodies are separate flows and are skipped
+// (they are analyzed on their own when they take a ResponseWriter).
+func (w *sseWalker) scanExpr(e ast.Expr, st sseState) sseState {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		st = w.applyCall(call, st)
+		return true
+	})
+	return st
+}
+
+// applyCall classifies one call against the rules.
+func (w *sseWalker) applyCall(call *ast.CallExpr, st sseState) sseState {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && w.isWriter(sel.X) {
+		switch sel.Sel.Name {
+		case "WriteHeader":
+			if st.wrote {
+				w.pass.Reportf(call.Pos(), "WriteHeader after the response body has been written: the status line was already sent with the first byte")
+			}
+			return st
+		case "Write", "WriteString":
+			st.wrote = true
+			if len(call.Args) > 0 {
+				st.last = classifyFrameLiteral(call.Args[0])
+			} else {
+				st.last = sseOpaque
+			}
+			return st
+		default:
+			// Header().Set and friends: not a body write.
+			return st
+		}
+	}
+	if fn := callee(w.pass, call); fn != nil {
+		if rpkg, rname, ok := recvTypeName(fn); ok && rpkg == "net/http" && rname == "Flusher" && fn.Name() == "Flush" {
+			if st.last == sseIncomplete {
+				w.pass.Reportf(call.Pos(), "Flush mid-frame: the last write does not end an SSE frame (missing the \"\\n\\n\" terminator)")
+			}
+			return st
+		}
+	}
+	// A call handed the writer may write through it: fmt.Fprint* with a
+	// literal format is classified, anything else is an opaque write.
+	for i, arg := range call.Args {
+		if !w.isWriter(arg) {
+			continue
+		}
+		st.wrote = true
+		st.last = sseOpaque
+		if fn := callee(w.pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && i == 0 && len(call.Args) > 1 {
+			switch fn.Name() {
+			case "Fprintf", "Fprint":
+				st.last = classifyFrameLiteral(call.Args[1])
+			case "Fprintln":
+				// Fprintln appends a single "\n": a literal ending in "\n"
+				// completes a frame, anything else known stays incomplete.
+				if s, ok := stringLiteral(call.Args[1]); ok {
+					if strings.HasSuffix(s, "\n") {
+						st.last = sseComplete
+					} else {
+						st.last = sseIncomplete
+					}
+				}
+			}
+		}
+		break
+	}
+	return st
+}
+
+// classifyFrameLiteral decides whether the written value is a literal that
+// completes an SSE frame ("\n\n"-terminated), a literal that doesn't, or
+// something the analyzer can't see through.
+func classifyFrameLiteral(arg ast.Expr) int {
+	s, ok := stringLiteral(arg)
+	if !ok {
+		return sseOpaque
+	}
+	if strings.HasSuffix(s, "\n\n") {
+		return sseComplete
+	}
+	return sseIncomplete
+}
+
+// stringLiteral unwraps a string literal, looking through a []byte(...)
+// conversion.
+func stringLiteral(arg ast.Expr) (string, bool) {
+	arg = ast.Unparen(arg)
+	if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		if at, ok := ast.Unparen(conv.Fun).(*ast.ArrayType); ok && at.Len == nil {
+			if id, ok := at.Elt.(*ast.Ident); ok && id.Name == "byte" {
+				arg = ast.Unparen(conv.Args[0])
+			}
+		}
+	}
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// bodyWrites reports whether the block writes the response on any path.
+func (w *sseWalker) bodyWrites(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && w.isWriter(sel.X) {
+			if sel.Sel.Name == "Write" || sel.Sel.Name == "WriteString" {
+				found = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if w.isWriter(arg) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// observesContext reports whether the block calls Done() or Err() on a
+// context.Context anywhere — the cancellation checks rule C accepts.
+func observesContext(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return true
+		}
+		if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+// Package goroutinelife exercises the goroutine-lifecycle analyzer: every
+// accepted tie form stays clean, untied launches are flagged, and the
+// audited nolint escape hatch suppresses.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+func untied() {
+	go func() { // want `goroutine is not tied to a lifecycle`
+		println("leak")
+	}()
+}
+
+// ctxTied observes cancellation directly.
+func ctxTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ctxArg hands the context to the callee: tied even though the callee's
+// body is not inspected for this form.
+func ctxArg(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) {}
+
+// wgTied signals a WaitGroup.
+func wgTied(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// doneTied closes a completion channel.
+func doneTied(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+// sendTied delivers its result over a channel.
+func sendTied(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// rangeTied drains a work channel: the channel's close is its stop signal.
+func rangeTied(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// startNamed launches a same-package method whose body is inspected one
+// level deep: loop blocks on the done channel, so the launch is tied.
+func startNamed(w *Worker) {
+	go w.loop()
+}
+
+type Worker struct {
+	done chan struct{}
+}
+
+func (w *Worker) loop() {
+	<-w.done
+}
+
+// leakNamed launches a named callee with no lifecycle signal in its body.
+func leakNamed() {
+	go spin() // want `goroutine is not tied to a lifecycle`
+}
+
+func spin() {
+	for i := 0; i < 1e9; i++ {
+		_ = i
+	}
+}
+
+// audited demonstrates the escape hatch: the launch is deliberately
+// untied and says why.
+func audited() {
+	go func() { //advect:nolint goroutinelife fixture exercises the audited escape hatch
+		println("audited")
+	}()
+}

@@ -1,0 +1,28 @@
+// Package lockorder seeds a two-file lock-order inversion: this file
+// acquires muB while holding muA, b.go reaches muA under muB through a
+// call chain, and the analyzer must stitch the two into one reported
+// cycle naming both acquisition paths.
+package lockorder
+
+import "sync"
+
+type Store struct {
+	muA sync.Mutex
+	muB sync.Mutex
+}
+
+// ab establishes the muA → muB ordering directly.
+func (s *Store) ab() {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	s.muB.Lock() // want `potential deadlock: lock-order cycle lockorder\.Store\.muA → lockorder\.Store\.muB → lockorder\.Store\.muA: .*in \(\*lockorder\.Store\)\.ab.*via \(\*lockorder\.Store\)\.ba → \(\*lockorder\.Store\)\.helper`
+	s.muB.Unlock()
+}
+
+// bThenA is clean: muB is released before muA is taken, so no edge.
+func (s *Store) bThenA() {
+	s.muB.Lock()
+	s.muB.Unlock()
+	s.muA.Lock()
+	s.muA.Unlock()
+}

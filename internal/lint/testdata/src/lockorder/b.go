@@ -1,0 +1,43 @@
+package lockorder
+
+import "sync"
+
+// ba establishes the muB → muA ordering indirectly: helper acquires muA,
+// and ba calls it with muB held. The Finish pass resolves the chain.
+func (s *Store) ba() {
+	s.muB.Lock()
+	defer s.muB.Unlock()
+	s.helper()
+}
+
+func (s *Store) helper() {
+	s.muA.Lock()
+	s.muA.Unlock()
+}
+
+// spawned is clean: the goroutine runs on its own schedule, so the locks
+// its body takes are not ordered after muB.
+func (s *Store) spawned(done chan struct{}) {
+	s.muB.Lock()
+	defer s.muB.Unlock()
+	go func() {
+		s.muA.Lock()
+		s.muA.Unlock()
+		close(done)
+	}()
+}
+
+// Node's nested lock of the same field on another instance collapses to a
+// self-edge, which is skipped: instance-insensitive identity cannot tell
+// parent from child, and hand-over-hand locking is a legitimate idiom.
+type Node struct {
+	mu   sync.Mutex
+	next *Node
+}
+
+func (n *Node) lockBoth() {
+	n.mu.Lock()
+	n.next.mu.Lock()
+	n.next.mu.Unlock()
+	n.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+// Package nolintedge exercises the corners of the //advect:nolint escape
+// hatch under the default registry. The fixture loads under an import path
+// ending in internal/gpusim so clockdiscipline's sim-package ban applies,
+// which lets one line trip two analyzers at once.
+package nolintedge
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+}
+
+// chained: one line trips lockheld (Sleep under the lock) and
+// clockdiscipline (wall read in a sim package); one comment carries both
+// directives back to back.
+func chained(b *box, deadline time.Time) {
+	b.mu.Lock()
+	time.Sleep(time.Until(deadline)) //advect:nolint lockheld fixture: chained directive, first half advect:nolint clockdiscipline fixture: chained directive, second half
+	b.mu.Unlock()
+}
+
+// blockTrailing uses the block-comment form at the end of the flagged line.
+func blockTrailing(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) /* advect:nolint lockheld fixture: block-comment form, trailing */
+	b.mu.Unlock()
+}
+
+// blockAbove uses the block-comment form on the line above.
+func blockAbove(b *box) {
+	b.mu.Lock()
+	/* advect:nolint lockheld fixture: block-comment form, above */
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}
+
+// lineAbove uses the line-comment form on the line above.
+func lineAbove(b *box) {
+	b.mu.Lock()
+	//advect:nolint lockheld fixture: line form, above
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}
+
+// unsuppressed pins that the analyzers really fire here: without a
+// directive the same shape is a finding (and the wall read a second one).
+func unsuppressed(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Until(time.Now())) // want `call to time.Sleep while holding b.mu` `time.Until in a simulated-time package` `time.Now in a simulated-time package`
+	b.mu.Unlock()
+}
+
+// A directive must name a known analyzer, and must say why.
+func badDirectives(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) //advect:nolint nosuch because it is quiet // want `unknown analyzer "nosuch"` `call to time.Sleep while holding b.mu`
+	b.mu.Unlock()
+}
+
+func reasonless(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) //advect:nolint lockheld // want `missing its reason` `call to time.Sleep while holding b.mu`
+	b.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+// Package ssedisc exercises the handler write-discipline analyzer: header
+// ordering, SSE frame boundaries at Flush, and cancellation observation in
+// infinite write loops.
+package ssedisc
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// lateHeader writes the body first: the status line already went out.
+func lateHeader(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("body"))
+	w.WriteHeader(http.StatusOK) // want `WriteHeader after the response body has been written`
+}
+
+// okOrder is the correct sequence.
+func okOrder(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusTeapot)
+	w.Write([]byte("body"))
+}
+
+// branches is clean: the error path writes and returns, so no path has a
+// write before the success WriteHeader.
+func branches(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/err" {
+		w.Write([]byte("oops"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// helperWrite is clean order-wise but marks the writer written: a helper
+// handed the writer may emit the body.
+func helperWrite(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "hello %s", r.URL.Path)
+	w.WriteHeader(http.StatusOK) // want `WriteHeader after the response body has been written`
+}
+
+// midFrameFlush flushes half an SSE event: the literal lacks the "\n\n"
+// frame terminator.
+func midFrameFlush(w http.ResponseWriter, r *http.Request) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(w, "data: %d\n", 1)
+	f.Flush() // want `Flush mid-frame`
+}
+
+// frameFlush flushes a complete frame.
+func frameFlush(w http.ResponseWriter, r *http.Request) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(w, "data: %d\n\n", 1)
+	f.Flush()
+}
+
+// opaqueFlush is exempt: the analyzer cannot see into frame, so it does
+// not second-guess the flush.
+func opaqueFlush(w http.ResponseWriter, r *http.Request, frame []byte) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	w.Write(frame)
+	f.Flush()
+}
+
+// spinLoop streams forever without ever noticing the client hung up.
+func spinLoop(w http.ResponseWriter, r *http.Request) {
+	for { // want `infinite response-write loop does not observe cancellation`
+		w.Write([]byte("data: x\n\n"))
+	}
+}
+
+// ctxLoop is the correct streaming shape: every iteration checks the
+// request context.
+func ctxLoop(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		w.Write([]byte("data: x\n\n"))
+	}
+}
+
+// boundedLoop is exempt from the cancellation rule: it terminates on its
+// own.
+func boundedLoop(w http.ResponseWriter, r *http.Request, rows []string) {
+	for _, row := range rows {
+		fmt.Fprintln(w, row)
+	}
+}

@@ -277,7 +277,16 @@ func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	already := s.Draining()
 	if !already {
-		go func() { _ = s.Shutdown() }()
+		// The drain deliberately outlives this request: it is the process
+		// shutdown path and ends when the worker pool does, so it cannot be
+		// tied to the request context. A failed drain names the jobs the
+		// deadline cancelled; losing that to a blank identifier would leave
+		// no record of which work was cut short.
+		go func() { //advect:nolint goroutinelife drain outlives the request by design and ends when the pool empties; its error is logged below
+			if err := s.Shutdown(); err != nil {
+				s.log.Error("drain failed", "err", err)
+			}
+		}()
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"status": "draining", "already_draining": already,
