@@ -108,6 +108,38 @@ awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
 # intentional span-set changes.
 go test -run TestClusterTraceFailoverGolden -count=1 ./internal/cluster
 
+# Session hot-path guards: the status snapshot behind GET
+# /v1/sessions/{id} and the sweep warmer's per-submission idle detector
+# both ride interactive paths; each must stay allocation-bounded
+# (test-asserted) and under the ns/op bound recorded in
+# BENCH_session.json.
+go test -run 'TestSessionStatusAllocationBounded|TestWarmerIdleAllocationFree' -count=1 ./internal/session
+max_ns=$(sed -n 's/.*"status_max_ns_per_op": *\([0-9.]*\).*/\1/p' BENCH_session.json)
+bench_out=$(go test -run '^$' -bench BenchmarkSessionStatus -benchtime 1000000x ./internal/session)
+echo "$bench_out"
+ns=$(echo "$bench_out" | awk '/^BenchmarkSessionStatus/ {print $3}')
+awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
+    if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
+    if (ns + 0 > max + 0) { printf "session status path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
+}'
+max_ns=$(sed -n 's/.*"warmer_idle_max_ns_per_op": *\([0-9.]*\).*/\1/p' BENCH_session.json)
+bench_out=$(go test -run '^$' -bench BenchmarkWarmerIdle -benchtime 1000000x ./internal/session)
+echo "$bench_out"
+ns=$(echo "$bench_out" | awk '/^BenchmarkWarmerIdle/ {print $3}')
+awk -v ns="$ns" -v max="$max_ns" 'BEGIN {
+    if (ns == "" || max == "") { print "could not read benchmark or baseline"; exit 1 }
+    if (ns + 0 > max + 0) { printf "warmer idle path %s ns/op exceeds bound %s\n", ns, max; exit 1 }
+}'
+
+# Session durability gate: a mid-run daemon crash must resume from the
+# last durable checkpoint and finish bitwise-identical to an
+# uninterrupted run, and a 2-node cluster must re-home a session from a
+# dead owner's replicated checkpoint under one trace. The full -race
+# suite above already runs these; the explicit pass keeps the gate
+# visible if the suite is filtered.
+go test -run 'TestSessionDurabilityAcrossRestart' -count=1 ./internal/service
+go test -race -run 'TestClusterSessionFailover' -count=1 ./internal/cluster
+
 # Ring hot-path guard: consistent-hash Lookup runs on every gateway
 # submission and must stay allocation-free (test-asserted) and under the
 # ns/op bound recorded in BENCH_cluster.json.

@@ -28,6 +28,15 @@
 // or JSON with -logjson) to stderr, and -pprof exposes the Go profiling
 // endpoints under /debug/pprof/.
 //
+// With -sessions <dir> the daemon also runs long simulations as resumable
+// sessions (POST /v1/sessions): the trajectory executes as a chain of
+// checkpointed segments (-segment steps each, -retain kept for forking),
+// survives process restarts by resuming from the last durable checkpoint
+// in <dir>, and can be paused, resumed, or forked with mutated options
+// from any retained step. -warm adds the speculative sweep warmer:
+// stepped-parameter submission patterns are detected and their predicted
+// next points pre-executed on idle workers at background priority.
+//
 // An always-on flight recorder (-flight sizes its ring) retains the last
 // N job/span/stats/log events and watches for anomalies — latency spikes,
 // shed bursts, stragglers, and model-vs-measured overlap drift beyond
@@ -72,6 +81,11 @@ func main() {
 		drift     = flag.Float64("drift", 0, "model-vs-measured overlap drift tolerance before an anomaly fires (0 = default)")
 		model     = flag.String("model", "", "machine model the anomaly engine predicts against (empty = default)")
 		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE keep-alive comment cadence on idle /v1/stream connections")
+		sessDir   = flag.String("sessions", "", "session checkpoint directory: enables resumable sessions under /v1/sessions (empty = disabled)")
+		segment   = flag.Int("segment", 0, "default steps between durable session checkpoints (0 = built-in default)")
+		retain    = flag.Int("retain", 0, "retained checkpoints per session for fork/rewind (0 = built-in default)")
+		sessWork  = flag.Int("sessworkers", 0, "concurrent session segments (0 = built-in default)")
+		warm      = flag.Bool("warm", false, "speculatively pre-execute predicted sweep points on idle workers")
 	)
 	flag.Parse()
 
@@ -103,6 +117,11 @@ func main() {
 		FlightEvents:      *flightN,
 		FlightRules:       flight.Rules{DriftTolerance: *drift, ModelMachine: *model},
 		HeartbeatInterval: *heartbeat,
+		SessionDir:        *sessDir,
+		SessionSegment:    *segment,
+		SessionRetain:     *retain,
+		SessionWorkers:    *sessWork,
+		WarmSweeps:        *warm,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -52,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -81,6 +82,8 @@ func main() {
 		logJSON   = flag.Bool("logjson", false, "emit logs as JSON instead of logfmt text")
 		logLevel  = flag.String("loglevel", "info", "minimum log level: debug, info, warn, or error")
 		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE keep-alive comment cadence on idle /v1/stream connections")
+		sessSync  = flag.Duration("sessionsync", time.Second, "session checkpoint replication sweep interval")
+		sessions  = flag.String("sessions", "", "session checkpoint directory for -local nodes (one subdirectory per node; empty = sessions disabled locally)")
 	)
 	flag.Parse()
 
@@ -107,7 +110,7 @@ func main() {
 		members, locals, err = startLocalNodes(*local, service.Config{
 			Workers: *workers, QueueCap: *queue, CacheEntries: *cache,
 			DrainTimeout: *drain,
-		}, logger)
+		}, *sessions, logger)
 		if err != nil {
 			logger.Error("local cluster failed", "error", err)
 			os.Exit(1)
@@ -138,6 +141,9 @@ func main() {
 
 		// SSE comment-line keep-alive on idle federated streams.
 		HeartbeatInterval: *heartbeat,
+
+		// Checkpoint replication cadence for routed sessions.
+		SessionSyncInterval: *sessSync,
 	})
 	runCtx, stopRun := context.WithCancel(context.Background())
 	router.Start(runCtx)
@@ -203,7 +209,7 @@ func (n *localNode) stop(ctx context.Context, logger *slog.Logger) {
 // startLocalNodes boots count in-process advectd nodes on loopback
 // ephemeral ports, each with its own worker pool, queue, and cache —
 // a one-command development cluster.
-func startLocalNodes(count int, cfg service.Config, logger *slog.Logger) ([]cluster.Member, []*localNode, error) {
+func startLocalNodes(count int, cfg service.Config, sessionDir string, logger *slog.Logger) ([]cluster.Member, []*localNode, error) {
 	members := make([]cluster.Member, 0, count)
 	locals := make([]*localNode, 0, count)
 	for i := 1; i <= count; i++ {
@@ -211,6 +217,16 @@ func startLocalNodes(count int, cfg service.Config, logger *slog.Logger) ([]clus
 		nodeCfg := cfg
 		nodeCfg.NodeID = id
 		nodeCfg.Logger = logger.With("node", id)
+		if sessionDir != "" {
+			// Each local node gets its own store: checkpoints are addressed
+			// by fingerprint, so sharing a directory would let two nodes
+			// race on the same session's files.
+			dir := filepath.Join(sessionDir, id)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, nil, fmt.Errorf("session dir for %s: %w", id, err)
+			}
+			nodeCfg.SessionDir = dir
+		}
 		srv := service.New(nodeCfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

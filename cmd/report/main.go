@@ -19,6 +19,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/session"
 	"repro/internal/stats"
 )
 
@@ -131,6 +132,36 @@ func main() {
 	fmt.Fprintln(w, "(bounded in CI by `BENCH_cluster.json`). See README \"Running a cluster\".")
 	fmt.Fprintln(w)
 
+	fmt.Fprintln(w, "## Resumable sessions & speculative sweep warming")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Long trajectories run as *sessions* (`internal/session`, served at")
+	fmt.Fprintln(w, "`POST /v1/sessions`): the run executes as a chain of checkpointed")
+	fmt.Fprintln(w, "segments, each segment ending in a durable, versioned, CRC-guarded")
+	fmt.Fprintln(w, "checkpoint (`internal/checkpoint`), so a killed daemon resumes from")
+	fmt.Fprintln(w, "the last segment boundary on restart and finishes bitwise-identical")
+	fmt.Fprintln(w, "to an uninterrupted run (e2e-asserted by field hash). Retained")
+	fmt.Fprintln(w, "checkpoints double as fork points: any kept step can seed a child")
+	fmt.Fprintln(w, "session with mutated options. Behind the gateway, checkpoints")
+	fmt.Fprintln(w, "replicate on the session-sync sweep and a dead owner's sessions are")
+	fmt.Fprintln(w, "re-homed onto survivors under the same trace id.")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Interactive submissions feed a sweep detector: when one numeric")
+	fmt.Fprintln(w, "parameter advances arithmetically (a `cmd/sweep` scan, a user")
+	fmt.Fprintln(w, "bisecting), the predicted next points are pre-executed on idle")
+	fmt.Fprintln(w, "workers at background priority — shed first under load — so the")
+	fmt.Fprintln(w, "sweep's later points are cache hits before they are asked for. The")
+	fmt.Fprintln(w, "table below replays an 8-point sweep through the real detector")
+	fmt.Fprintln(w, "(history 3, predict 2, background execution assumed to keep up):")
+	fmt.Fprintln(w)
+	warm, hits := warmerTable()
+	writeMarkdown(w, warm)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%d of 8 points served from the warm cache — the detector needs the\n", hits)
+	fmt.Fprintln(w, "first three points to establish the progression, then stays ahead of")
+	fmt.Fprintln(w, "it. The live counters (observed, predictions, warmed, shed, hits)")
+	fmt.Fprintln(w, "are on `GET /v1/stats` under `\"warmer\"`.")
+	fmt.Fprintln(w)
+
 	fmt.Fprintln(w, "## Model-vs-measured drift")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Each overlap kind's analytic expectation doubles as a production")
@@ -198,6 +229,37 @@ func main() {
 	fmt.Fprintln(w, "stream loops that observe cancellation. Findings are machine-readable")
 	fmt.Fprintln(w, "(`advectlint -json`, archived by `ci.sh`), and every rule is pinned by")
 	fmt.Fprintln(w, "fixtures under `internal/lint/testdata`. See README \"Static analysis\".")
+}
+
+// warmerTable replays an 8-point stepped sweep through a real
+// session.Warmer, assuming background pre-execution keeps up (every
+// prediction is marked warmed before the next interactive point
+// arrives), and tabulates which points the sweep got for free.
+func warmerTable() (stats.Table, int) {
+	warm := session.NewWarmer(session.WarmerConfig{})
+	key := func(steps float64) string { return fmt.Sprintf("steps=%g", steps) }
+	t := stats.Table{Header: []string{"point", "steps", "served", "new predictions"}}
+	hits := 0
+	for i := 0; i < 8; i++ {
+		steps := float64(40 * (i + 1))
+		served := "computed"
+		if warm.WasWarmed(key(steps)) {
+			served = "warm hit"
+			hits++
+		}
+		preds := warm.Observe("simulate n=8", []float64{steps})
+		var predicted []string
+		for _, p := range preds {
+			warm.MarkWarmed(key(p.Value))
+			predicted = append(predicted, fmt.Sprintf("%g", p.Value))
+		}
+		label := "—"
+		if len(predicted) > 0 {
+			label = strings.Join(predicted, ", ")
+		}
+		t.AddRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%g", steps), served, label)
+	}
+	return t, hits
 }
 
 // driftTable tabulates the model-side hidden-communication expectation

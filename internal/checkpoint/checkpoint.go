@@ -7,9 +7,16 @@
 //
 // Format (little endian):
 //
-//	magic "ADVCKPT1" | nx ny nz int64 | cx cy cz nu t0 float64
-//	| steps-done int64 | nx*ny*nz float64 field values (x fastest)
+//	magic "ADVCKPT2" | nx ny nz int64 | cx cy cz nu t0 float64
+//	| steps-done int64 | fingerprint string | options string
+//	| nx*ny*nz float64 field values (x fastest)
 //	| xor checksum of the payload as uint64
+//
+// Strings are encoded as a uint64 byte length followed by the bytes
+// zero-padded to an 8-byte boundary, every word folded into the checksum.
+// Version 1 files ("ADVCKPT1", no strings) still load; their Fingerprint
+// and Options come back empty, marking a checkpoint without recorded
+// lineage.
 package checkpoint
 
 import (
@@ -24,15 +31,34 @@ import (
 	"repro/internal/grid"
 )
 
-const magic = "ADVCKPT1"
+const (
+	magicV1 = "ADVCKPT1"
+	magicV2 = "ADVCKPT2"
+	// maxString bounds the fingerprint/options strings on load, so hostile
+	// headers cannot demand gigabyte allocations.
+	maxString = 1 << 12
+)
 
-// Meta describes a checkpointed run.
+// Meta describes a checkpointed run. Fingerprint and Options carry the
+// canonical identity of the computation that produced the state (the run
+// fingerprint from internal/core and Options.Canonical()), so a checkpoint
+// file alone identifies its session lineage. Both are empty when the file
+// predates format version 2. Meta stays comparable: lineage is carried as
+// canonical strings, which round-trip exactly where parsed structs would
+// not (GPUDefault and GPUC2050 collapse to one canonical form).
 type Meta struct {
 	N         grid.Dims
 	C         grid.Velocity
 	Nu        float64
 	T0        float64 // simulated time integrated so far
 	StepsDone int64
+	// Fingerprint is the canonical run fingerprint of the session or job
+	// this state belongs to ("" on version-1 files).
+	Fingerprint string
+	// Options is the Options.Canonical() encoding of the run's tuning
+	// parameters ("" on version-1 files); parse with
+	// core.ParseOptionsCanonical to resume with the same configuration.
+	Options string
 }
 
 // Save writes the state to w.
@@ -40,8 +66,12 @@ func Save(w io.Writer, m Meta, f *grid.Field) error {
 	if f.N != m.N {
 		return fmt.Errorf("checkpoint: field %v does not match meta %v", f.N, m.N)
 	}
+	if len(m.Fingerprint) > maxString || len(m.Options) > maxString {
+		return fmt.Errorf("checkpoint: lineage strings too long (%d/%d bytes)",
+			len(m.Fingerprint), len(m.Options))
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	if _, err := bw.WriteString(magicV2); err != nil {
 		return err
 	}
 	var sum uint64
@@ -51,6 +81,19 @@ func Save(w io.Writer, m Meta, f *grid.Field) error {
 	}
 	putI := func(v int64) error { return put64(uint64(v)) }
 	putF := func(v float64) error { return put64(math.Float64bits(v)) }
+	putS := func(s string) error {
+		if err := putI(int64(len(s))); err != nil {
+			return err
+		}
+		b := make([]byte, (len(s)+7)/8*8)
+		copy(b, s)
+		for i := 0; i < len(b); i += 8 {
+			if err := put64(binary.LittleEndian.Uint64(b[i:])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	for _, v := range []int64{int64(m.N.X), int64(m.N.Y), int64(m.N.Z)} {
 		if err := putI(v); err != nil {
@@ -63,6 +106,12 @@ func Save(w io.Writer, m Meta, f *grid.Field) error {
 		}
 	}
 	if err := putI(m.StepsDone); err != nil {
+		return err
+	}
+	if err := putS(m.Fingerprint); err != nil {
+		return err
+	}
+	if err := putS(m.Options); err != nil {
 		return err
 	}
 	for k := 0; k < m.N.Z; k++ {
@@ -80,15 +129,23 @@ func Save(w io.Writer, m Meta, f *grid.Field) error {
 	return bw.Flush()
 }
 
-// Load reads a checkpoint from r, validating the magic and checksum.
+// Load reads a checkpoint from r, validating the magic and checksum. Both
+// format versions are accepted; version-1 files load with empty
+// Fingerprint and Options.
 func Load(r io.Reader) (Meta, *grid.Field, error) {
 	br := bufio.NewReader(r)
 	var m Meta
-	head := make([]byte, len(magic))
+	head := make([]byte, len(magicV1))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return m, nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	if string(head) != magic {
+	version := 0
+	switch string(head) {
+	case magicV1:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
 		return m, nil, fmt.Errorf("checkpoint: bad magic %q", head)
 	}
 	var sum uint64
@@ -102,6 +159,29 @@ func Load(r io.Reader) (Meta, *grid.Field, error) {
 	}
 	getI := func() (int64, error) { v, err := get64(); return int64(v), err }
 	getF := func() (float64, error) { v, err := get64(); return math.Float64frombits(v), err }
+	getS := func() (string, error) {
+		n, err := getI()
+		if err != nil {
+			return "", err
+		}
+		if n < 0 || n > maxString {
+			return "", fmt.Errorf("implausible string length %d", n)
+		}
+		b := make([]byte, (n+7)/8*8)
+		for i := 0; i < len(b); i += 8 {
+			v, err := get64()
+			if err != nil {
+				return "", err
+			}
+			binary.LittleEndian.PutUint64(b[i:], v)
+		}
+		for _, pad := range b[n:] {
+			if pad != 0 {
+				return "", fmt.Errorf("non-zero string padding")
+			}
+		}
+		return string(b[:n]), nil
+	}
 
 	var err error
 	var nx, ny, nz int64
@@ -130,6 +210,14 @@ func Load(r io.Reader) (Meta, *grid.Field, error) {
 	}
 	if m.StepsDone, err = getI(); err != nil {
 		return m, nil, fmt.Errorf("checkpoint: truncated header: %w", err)
+	}
+	if version >= 2 {
+		if m.Fingerprint, err = getS(); err != nil {
+			return m, nil, fmt.Errorf("checkpoint: bad fingerprint: %w", err)
+		}
+		if m.Options, err = getS(); err != nil {
+			return m, nil, fmt.Errorf("checkpoint: bad options: %w", err)
+		}
 	}
 
 	f := grid.NewField(m.N, 1)
@@ -197,6 +285,15 @@ func FromResult(p core.Problem, res *core.Result) (Meta, *grid.Field, error) {
 		T0:        np.T0 + np.Nu*float64(np.Steps),
 		StepsDone: int64(np.Steps),
 	}, res.Final, nil
+}
+
+// WithLineage returns a copy of m carrying the canonical identity of the
+// run that produced it: the session/job fingerprint and the
+// Options.Canonical() encoding.
+func (m Meta) WithLineage(fingerprint, options string) Meta {
+	m.Fingerprint = fingerprint
+	m.Options = options
+	return m
 }
 
 // Resume builds the problem that continues a checkpoint for the given

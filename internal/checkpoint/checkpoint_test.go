@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"path/filepath"
 	"testing"
 
@@ -33,6 +35,110 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if nm := grid.DiffNorms(f, f2); nm.LInf != 0 {
 		t.Fatalf("field differs: %+v", nm)
+	}
+}
+
+func TestSaveLoadRoundTripLineage(t *testing.T) {
+	n := grid.Dims{X: 5, Y: 4, Z: 3}
+	o := core.Options{Tasks: 4, Threads: 2, BlockX: 16, BlockY: 8}.Normalize()
+	p := core.DefaultProblem(5, 9)
+	p.N = n
+	m := Meta{
+		N: n, C: grid.Velocity{X: 1, Y: 0.5, Z: 0.25}, Nu: 1, T0: 2, StepsDone: 9,
+		Fingerprint: core.Fingerprint(core.BulkSync, p, o),
+		Options:     o.Canonical(),
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m, testField(n)); err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatalf("meta %+v, want %+v", m2, m)
+	}
+	// The recorded options must parse back into a usable configuration.
+	o2, err := core.ParseOptionsCanonical(m2.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Canonical() != o.Canonical() {
+		t.Fatalf("options %q, want %q", o2.Canonical(), o.Canonical())
+	}
+}
+
+// saveV1 replicates the version-1 writer so backward compatibility stays
+// testable after the live writer moved to version 2.
+func saveV1(t *testing.T, m Meta, f *grid.Field) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("ADVCKPT1")
+	var sum uint64
+	put64 := func(v uint64) {
+		sum ^= v
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	for _, v := range []int64{int64(m.N.X), int64(m.N.Y), int64(m.N.Z)} {
+		put64(uint64(v))
+	}
+	for _, v := range []float64{m.C.X, m.C.Y, m.C.Z, m.Nu, m.T0} {
+		put64(math.Float64bits(v))
+	}
+	put64(uint64(m.StepsDone))
+	for k := 0; k < m.N.Z; k++ {
+		for j := 0; j < m.N.Y; j++ {
+			for i := 0; i < m.N.X; i++ {
+				put64(math.Float64bits(f.At(i, j, k)))
+			}
+		}
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], sum)
+	buf.Write(b[:])
+	return buf.Bytes()
+}
+
+func TestLoadVersion1Compat(t *testing.T) {
+	n := grid.Dims{X: 4, Y: 3, Z: 2}
+	m := Meta{N: n, C: grid.Velocity{X: 1}, Nu: 0.5, T0: 1.5, StepsDone: 3}
+	f := testField(n)
+	data := saveV1(t, m, f)
+	m2, f2, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatalf("v1 meta %+v, want %+v", m2, m)
+	}
+	if m2.Fingerprint != "" || m2.Options != "" {
+		t.Fatalf("v1 file must load with empty lineage, got %+v", m2)
+	}
+	if nm := grid.DiffNorms(f, f2); nm.LInf != 0 {
+		t.Fatalf("v1 field differs: %+v", nm)
+	}
+}
+
+func TestWithLineage(t *testing.T) {
+	m := Meta{N: grid.Uniform(4), StepsDone: 2}
+	m2 := m.WithLineage("fp", "o1;x=1")
+	if m2.Fingerprint != "fp" || m2.Options != "o1;x=1" || m2.N != m.N {
+		t.Fatalf("lineage not attached: %+v", m2)
+	}
+	if m.Fingerprint != "" {
+		t.Fatal("WithLineage mutated its receiver")
+	}
+}
+
+func TestSaveRejectsOversizeLineage(t *testing.T) {
+	n := grid.Uniform(3)
+	m := Meta{N: n, Fingerprint: string(make([]byte, maxString+1))}
+	var buf bytes.Buffer
+	if err := Save(&buf, m, testField(n)); err == nil {
+		t.Fatal("oversize lineage accepted")
 	}
 }
 

@@ -22,7 +22,20 @@ func FuzzLoad(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte("ADVCKPT1"))
+	f.Add([]byte("ADVCKPT2"))
 	f.Add([]byte{})
+	// A version-2 file with lineage strings, plus a forged version-1 magic
+	// on a version-2 body (the string words then parse as field values and
+	// the checksum must catch the reshuffle or the volume check the size).
+	var buf2 bytes.Buffer
+	m2 := Meta{N: n, Nu: 1, Fingerprint: "fp-abc123", Options: "o1;tasks=2"}
+	if err := Save(&buf2, m2, fld); err != nil {
+		f.Fatal(err)
+	}
+	withLineage := buf2.Bytes()
+	f.Add(withLineage)
+	forged := append([]byte("ADVCKPT1"), withLineage[8:]...)
+	f.Add(forged)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, fld, err := Load(bytes.NewReader(data))

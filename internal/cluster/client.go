@@ -233,6 +233,68 @@ func (c *nodeClient) stats(ctx context.Context, baseURL string) (service.Telemet
 	return doc, nil
 }
 
+// postJSON forwards a POST with an optional JSON body (session create,
+// pause/resume/fork proxies) and returns the node's answer unchanged.
+func (c *nodeClient) postJSON(ctx context.Context, url string, body []byte) (int, string, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), data, nil
+}
+
+// checkpoint pulls a session's newest durable checkpoint from its owner:
+// the raw bytes plus the step it stands at (from the response header).
+// (nil, 0, nil) means the session exists but has no durable checkpoint yet.
+func (c *nodeClient) checkpoint(ctx context.Context, baseURL, id string) ([]byte, int64, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/sessions/"+id+"/checkpoint", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, 0, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, 0, fmt.Errorf("checkpoint: status %d", resp.StatusCode)
+	}
+	step, err := strconv.ParseInt(resp.Header.Get(service.SessionStepHeader), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: bad %s header: %w", service.SessionStepHeader, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, step, nil
+}
+
 // get proxies a read (status, result, trace, list) and returns the node's
 // status code, content type, and body unchanged.
 func (c *nodeClient) get(ctx context.Context, url string) (int, string, []byte, error) {
@@ -252,6 +314,28 @@ func (c *nodeClient) get(ctx context.Context, url string) (int, string, []byte, 
 		return 0, "", nil, err
 	}
 	return resp.StatusCode, resp.Header.Get("Content-Type"), body, nil
+}
+
+// getFull proxies a read like get but hands back the full response
+// header set, for endpoints whose metadata rides custom headers (the
+// session checkpoint surface).
+func (c *nodeClient) getFull(ctx context.Context, url string) (int, http.Header, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, body, nil
 }
 
 // del proxies a DELETE (job cancel).

@@ -34,6 +34,13 @@ type errorDoc struct {
 //	GET    /v1/jobs/{id}/trace    stitched Chrome trace (proxied)
 //	GET    /v1/jobs/{id}/spans    raw span log / wire trace context (proxied)
 //	DELETE /v1/jobs/{id}          cancel (proxied)
+//	POST   /v1/sessions           create a resumable session (routed by fingerprint)
+//	GET    /v1/sessions           merged session list across nodes
+//	GET    /v1/sessions/{id}      session status (proxied, follows failover)
+//	POST   /v1/sessions/{id}/pause   pause (proxied)
+//	POST   /v1/sessions/{id}/resume  resume (proxied)
+//	POST   /v1/sessions/{id}/fork    fork from a retained checkpoint (proxied)
+//	GET    /v1/sessions/{id}/checkpoint  raw checkpoint bytes (proxied)
 //	GET    /v1/stats              federated rolling-window telemetry
 //	GET    /v1/stream             federated SSE stream (node-labelled)
 //	GET    /v1/kinds              implementation catalogue (any up node)
@@ -53,6 +60,13 @@ func (r *Router) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", r.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/spans", r.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", r.handleCancel)
+	mux.HandleFunc("POST /v1/sessions", r.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", r.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", r.handleSessionStatus)
+	mux.HandleFunc("POST /v1/sessions/{id}/pause", r.handleSessionVerb("pause"))
+	mux.HandleFunc("POST /v1/sessions/{id}/resume", r.handleSessionVerb("resume"))
+	mux.HandleFunc("POST /v1/sessions/{id}/fork", r.handleSessionFork)
+	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", r.handleSessionCheckpoint)
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
 	mux.HandleFunc("GET /v1/stream", r.handleStream)
 	mux.HandleFunc("GET /v1/kinds", r.handleCatalogue("/v1/kinds"))
@@ -368,10 +382,11 @@ func (r *Router) handleCatalogue(path string) http.HandlerFunc {
 func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
 	ring := r.ring.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"members":   r.members.Snapshot(),
-		"ring":      map[string]any{"nodes": ring.Nodes(), "vnodes": ring.VNodes()},
-		"gateway":   r.Counters(),
-		"in_flight": r.inFlight(),
+		"members":       r.members.Snapshot(),
+		"ring":          map[string]any{"nodes": ring.Nodes(), "vnodes": ring.VNodes()},
+		"gateway":       r.Counters(),
+		"in_flight":     r.inFlight(),
+		"live_sessions": r.liveSessions(),
 	})
 }
 

@@ -57,6 +57,12 @@ type memberState struct {
 	fails   int
 	lastErr string
 	since   time.Time
+	// gen counts state transitions. Probe verdicts are applied
+	// compare-and-swap style against the generation observed when the
+	// probe was issued, so a transition that lands between probe read and
+	// verdict apply (an operator drain) is never overwritten by the
+	// probe's stale evidence.
+	gen uint64
 }
 
 // NewMembership starts every member up (optimistically routable; the first
@@ -178,6 +184,40 @@ func (m *Membership) ReportDraining(id string, now time.Time) bool {
 	return m.transition(id, NodeDraining, "", now)
 }
 
+// generation returns the member's transition counter, read before a probe
+// is issued so its verdict can be applied only if no transition raced it.
+func (m *Membership) generation(id string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ms, ok := m.members[id]; ok {
+		return ms.gen
+	}
+	return 0
+}
+
+// reportIf applies a probe verdict only if the member's generation still
+// matches gen — the one read before the probe went out. A stale verdict
+// (the probe read the node's healthz before a concurrent transition, like
+// an operator drain, changed the state) is dropped; the next sweep probes
+// fresh and decides then.
+func (m *Membership) reportIf(id string, gen uint64, state NodeState, now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.members[id]
+	if !ok || ms.gen != gen {
+		return false
+	}
+	ms.fails = 0
+	ms.lastErr = ""
+	if ms.state == state {
+		return false
+	}
+	ms.state = state
+	ms.since = now
+	ms.gen++
+	return true
+}
+
 // ReportFailure records a failed probe; after failThreshold consecutive
 // failures the member goes down. Returns true when this report is the one
 // that took the node down.
@@ -193,6 +233,7 @@ func (m *Membership) ReportFailure(id string, errMsg string, now time.Time) bool
 	if ms.state != NodeDown && ms.fails >= m.failThreshold {
 		ms.state = NodeDown
 		ms.since = now
+		ms.gen++
 		return true
 	}
 	return false
@@ -214,5 +255,6 @@ func (m *Membership) transition(id string, state NodeState, errMsg string, now t
 	}
 	ms.state = state
 	ms.since = now
+	ms.gen++
 	return true
 }

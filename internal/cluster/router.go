@@ -47,6 +47,11 @@ type Config struct {
 	// StatsWindow spans the gateway's rolling telemetry windows (route
 	// latency, peek hit rate, failovers). Default 60s.
 	StatsWindow time.Duration
+	// SessionSyncInterval is the cadence of the checkpoint replication
+	// sweep: how often the gateway pulls each live session's newest durable
+	// checkpoint off its owner. It bounds how far back a session resumed
+	// after its owner's death can land. Default 1s.
+	SessionSyncInterval time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof on the gateway
 	// mux (the same switch advectd exposes via -pprof).
 	EnablePprof bool
@@ -75,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StatsWindow <= 0 {
 		c.StatsWindow = 60 * time.Second
+	}
+	if c.SessionSyncInterval <= 0 {
+		c.SessionSyncInterval = time.Second
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -107,6 +115,14 @@ type GatewayCounters struct {
 	// Shed counts client submissions rejected cluster-wide (every
 	// routable shard full).
 	Shed uint64 `json:"shed"`
+	// SessionRoutes counts sessions placed on a shard by fingerprint.
+	SessionRoutes uint64 `json:"session_routes"`
+	// SessionResumes counts dead-owner sessions re-created on a survivor
+	// from a replicated checkpoint.
+	SessionResumes uint64 `json:"session_resumes"`
+	// CheckpointSyncs counts checkpoint replicas pulled off owners by the
+	// session sync loop.
+	CheckpointSyncs uint64 `json:"checkpoint_syncs"`
 }
 
 // jobEntry is the gateway's record of one accepted job: where it lives,
@@ -137,10 +153,11 @@ type Router struct {
 	tele    *GatewayTelemetry
 	mux     *http.ServeMux
 
-	mu       sync.Mutex
-	jobs     map[string]*jobEntry
-	byFP     map[string]*jobEntry // in-flight job per fingerprint (dedup)
-	counters GatewayCounters
+	mu        sync.Mutex
+	jobs      map[string]*jobEntry
+	byFP      map[string]*jobEntry // in-flight job per fingerprint (dedup)
+	sessTable map[string]*sessionEntry
+	counters  GatewayCounters
 
 	runCtx  context.Context
 	stopRun context.CancelFunc
@@ -153,14 +170,15 @@ type Router struct {
 func NewRouter(cfg Config) *Router {
 	cfg = cfg.withDefaults()
 	r := &Router{
-		cfg:     cfg,
-		log:     cfg.Logger,
-		client:  newNodeClient(cfg.RequestTimeout),
-		members: NewMembership(cfg.Members, cfg.FailThreshold, time.Now()),
-		hub:     telemetry.NewHub(),
-		tele:    NewGatewayTelemetry(cfg.StatsWindow),
-		jobs:    map[string]*jobEntry{},
-		byFP:    map[string]*jobEntry{},
+		cfg:       cfg,
+		log:       cfg.Logger,
+		client:    newNodeClient(cfg.RequestTimeout),
+		members:   NewMembership(cfg.Members, cfg.FailThreshold, time.Now()),
+		hub:       telemetry.NewHub(),
+		tele:      NewGatewayTelemetry(cfg.StatsWindow),
+		jobs:      map[string]*jobEntry{},
+		byFP:      map[string]*jobEntry{},
+		sessTable: map[string]*sessionEntry{},
 	}
 	r.rebuildRing()
 	r.mux = r.routes()
@@ -178,6 +196,11 @@ func (r *Router) Start(ctx context.Context) {
 	go func() {
 		defer r.wg.Done()
 		r.healthLoop(r.runCtx)
+	}()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.sessionSyncLoop(r.runCtx)
 	}()
 	for _, m := range r.members.Snapshot() {
 		r.wg.Add(1)
@@ -504,9 +527,13 @@ func (r *Router) healthLoop(ctx context.Context) {
 // consecutive probe errors. A node going down triggers the reroute of its
 // in-flight jobs; any transition rebuilds the ring. Rebalancing is
 // deliberately asynchronous to job execution — jobs on healthy shards
-// never pause while membership changes.
+// never pause while membership changes. Probe verdicts apply CAS-style
+// against the generation read before the probe, so a transition that
+// raced the probe (an operator drain landing after the healthz read)
+// is never overwritten by the probe's stale evidence.
 func (r *Router) sweepHealth(ctx context.Context) {
 	for _, m := range r.members.Snapshot() {
+		gen := r.members.generation(m.ID)
 		st, err := r.client.health(ctx, m.URL)
 		if ctx.Err() != nil {
 			return
@@ -518,14 +545,15 @@ func (r *Router) sweepHealth(ctx context.Context) {
 				r.log.Warn("node down", "node", m.ID, "error", err)
 				r.rebuildRing()
 				r.rerouteDead(ctx, m.ID)
+				r.resumeDeadSessions(ctx, m.ID)
 			}
 		case st == NodeUp:
-			if r.members.ReportHealthy(m.ID, now) {
+			if r.members.reportIf(m.ID, gen, NodeUp, now) {
 				r.log.Info("node up", "node", m.ID)
 				r.rebuildRing()
 			}
 		case st == NodeDraining:
-			if r.members.ReportDraining(m.ID, now) {
+			if r.members.reportIf(m.ID, gen, NodeDraining, now) {
 				r.log.Info("node draining", "node", m.ID)
 				r.rebuildRing()
 			}

@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/session"
+)
+
+// startSessionNode boots one in-process advectd node with a session store,
+// mirroring startNode for the session tests.
+func startSessionNode(t *testing.T, id string) (Member, *httptest.Server) {
+	t.Helper()
+	s := service.New(service.Config{
+		NodeID:         id,
+		StreamInterval: 200 * time.Millisecond,
+		DrainTimeout:   2 * time.Minute,
+		SessionDir:     t.TempDir(),
+	})
+	ts := httptest.NewServer(s.Handler())
+	return Member{ID: id, URL: ts.URL}, ts
+}
+
+// startSessionCluster is startCluster with session-enabled nodes and a
+// fast checkpoint replication sweep.
+func startSessionCluster(t *testing.T, cfg Config, ids ...string) *testCluster {
+	t.Helper()
+	tc := &testCluster{nodes: map[string]*httptest.Server{}}
+	for _, id := range ids {
+		m, ts := startSessionNode(t, id)
+		cfg.Members = append(cfg.Members, m)
+		tc.nodes[id] = ts
+	}
+	tc.router = NewRouter(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	tc.router.Start(ctx)
+	tc.gw = httptest.NewServer(tc.router.Handler())
+	t.Cleanup(func() {
+		tc.gw.Close()
+		cancel()
+		tc.router.Stop()
+		for _, ts := range tc.nodes {
+			ts.Close()
+		}
+	})
+	return tc
+}
+
+// gwSession is the gateway's labelled session view as a client decodes it.
+type gwSession struct {
+	session.View
+	Node string `json:"node"`
+}
+
+func (tc *testCluster) createSession(t *testing.T, body string) (int, gwSession) {
+	t.Helper()
+	resp, err := http.Post(tc.gw.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v gwSession
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode session response: %v", err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, v
+}
+
+func (tc *testCluster) getSession(t *testing.T, id string) gwSession {
+	t.Helper()
+	v, status := tc.pollSession(t, id)
+	if status != http.StatusOK {
+		t.Fatalf("session poll: status %d", status)
+	}
+	return v
+}
+
+// pollSession is the non-fatal variant: it hands back the status code so
+// failover loops can ride out the window where the owner is dead but the
+// health sweep has not yet re-homed its sessions (polls proxy to the
+// corpse and 502 until the forwarding pointer exists).
+func (tc *testCluster) pollSession(t *testing.T, id string) (gwSession, int) {
+	t.Helper()
+	resp, err := http.Get(tc.gw.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v gwSession
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return v, resp.StatusCode
+}
+
+// TestClusterSessionFailover is the session layer's crash contract
+// (satellite of the durability e2e): a session running on one shard of a
+// 2-node cluster loses its owner mid-segment; the gateway, which has been
+// replicating the session's checkpoints, re-creates it on the survivor
+// seeded from the last replica, the old id keeps answering through the
+// forwarding chain, and the trajectory finishes under the same trace id.
+func TestClusterSessionFailover(t *testing.T) {
+	tc := startSessionCluster(t, Config{
+		HealthInterval:      50 * time.Millisecond,
+		FailThreshold:       2,
+		SessionSyncInterval: 50 * time.Millisecond,
+	}, "n1", "n2")
+
+	status, created := tc.createSession(t,
+		`{"simulate":{"kind":"bulk","n":16,"steps":9000},"segment":300}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("create: status %d", status)
+	}
+	if created.Node == "" || created.TraceID == "" {
+		t.Fatalf("created session %+v: missing node label or minted trace id", created)
+	}
+	owner := created.Node
+
+	// Wait until the gateway holds a checkpoint replica, so the resume is
+	// seeded rather than a from-scratch rerun.
+	waitFor(t, 60*time.Second, "checkpoint replicated to gateway", func() bool {
+		if v := tc.getSession(t, created.ID); v.State.Terminal() {
+			t.Fatalf("session finished (%s at step %d) before the test could kill its owner; grow the problem",
+				v.State, v.DoneSteps)
+		}
+		return tc.router.Counters().CheckpointSyncs >= 1
+	})
+
+	tc.killNode(owner)
+	waitFor(t, 10*time.Second, "owner marked down", func() bool {
+		return tc.router.Members().State(owner) == NodeDown
+	})
+
+	// The old id answers through the forwarding chain; the session finishes
+	// on the survivor from the replicated checkpoint.
+	deadline := time.Now().Add(120 * time.Second)
+	var final gwSession
+	for {
+		v, status := tc.pollSession(t, created.ID)
+		if status != http.StatusOK {
+			// Dead-owner window: the sweep hasn't re-homed the session yet.
+			if time.Now().After(deadline) {
+				t.Fatalf("session still unreachable (status %d) after failover", status)
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		final = v
+		if final.State == session.StateDone {
+			break
+		}
+		if final.State == session.StateFailed {
+			t.Fatalf("session failed after failover: %s", final.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session stuck in %s at step %d after failover", final.State, final.DoneSteps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.Node != "n1" && final.Node != "n2" {
+		t.Fatalf("final node label %q", final.Node)
+	}
+	if final.Node == owner {
+		t.Fatalf("session finished on the dead owner %s", owner)
+	}
+	if final.DoneSteps != 9000 {
+		t.Fatalf("finished at step %d, want 9000", final.DoneSteps)
+	}
+	if final.Resumes < 1 {
+		t.Fatal("survivor session shows no resume — it was re-run from scratch, not seeded")
+	}
+	if final.TraceID != created.TraceID {
+		t.Fatalf("trace id changed across failover: %q -> %q (one trajectory, one trace)",
+			created.TraceID, final.TraceID)
+	}
+
+	c := tc.router.Counters()
+	if c.SessionResumes != 1 {
+		t.Errorf("SessionResumes = %d, want 1", c.SessionResumes)
+	}
+	if c.SessionRoutes != 2 {
+		t.Errorf("SessionRoutes = %d, want 2 (create + failover resume)", c.SessionRoutes)
+	}
+
+	// The federated stats merge the survivor's session counters, and the
+	// gateway no longer counts the session live.
+	stats := tc.clusterStats(t)
+	if stats.Cluster.Sessions == nil || stats.Cluster.Sessions.Done < 1 {
+		t.Errorf("merged session stats %+v missing the finished session", stats.Cluster.Sessions)
+	}
+	if stats.LiveSessions != 0 {
+		t.Errorf("gateway still counts %d sessions live", stats.LiveSessions)
+	}
+}
+
+// TestClusterSessionRoutingAndProxy covers the calm-weather session
+// surface: fingerprint routing, the merged list, pause/resume and fork
+// proxies, and checkpoint reads through the gateway.
+func TestClusterSessionRoutingAndProxy(t *testing.T) {
+	tc := startSessionCluster(t, Config{
+		HealthInterval:      50 * time.Millisecond,
+		SessionSyncInterval: 50 * time.Millisecond,
+	}, "n1", "n2")
+
+	status, v := tc.createSession(t, `{"simulate":{"kind":"bulk","n":8,"steps":40},"segment":10,"retain":4}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("create: status %d", status)
+	}
+
+	waitFor(t, 60*time.Second, "session done", func() bool {
+		return tc.getSession(t, v.ID).State == session.StateDone
+	})
+
+	// Identical scenarios route to the same shard: the fingerprint owns the
+	// placement, so re-creating lands where the checkpoints already live.
+	status2, v2 := tc.createSession(t, `{"simulate":{"kind":"bulk","n":8,"steps":40},"segment":10,"retain":4}`)
+	if status2 != http.StatusAccepted {
+		t.Fatalf("re-create: status %d", status2)
+	}
+	if v2.Node != v.Node {
+		t.Errorf("same scenario routed to %s then %s; fingerprint routing must be sticky", v.Node, v2.Node)
+	}
+
+	// Fork through the gateway: the child runs on the parent's shard.
+	resp, err := http.Post(tc.gw.URL+"/v1/sessions/"+v.ID+"/fork", "application/json",
+		strings.NewReader(`{"at_step":20,"total_steps":60,"threads":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var child gwSession
+	if err := json.NewDecoder(resp.Body).Decode(&child); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fork: status %d", resp.StatusCode)
+	}
+	if child.Node != v.Node {
+		t.Errorf("fork child on %s, parent on %s", child.Node, v.Node)
+	}
+	waitFor(t, 60*time.Second, "fork child done", func() bool {
+		return tc.getSession(t, child.ID).State == session.StateDone
+	})
+
+	// Checkpoint bytes read through the gateway, headers intact.
+	cr, err := http.Get(tc.gw.URL + "/v1/sessions/" + v.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(cr.Body)
+	cr.Body.Close()
+	if cr.StatusCode != http.StatusOK || len(blob) == 0 {
+		t.Fatalf("checkpoint via gateway: status %d (%d bytes)", cr.StatusCode, len(blob))
+	}
+	if got := cr.Header.Get(service.SessionStepHeader); got != "40" {
+		t.Errorf("checkpoint step header %q, want 40", got)
+	}
+
+	// The merged list shows all three sessions with node labels.
+	lr, err := http.Get(tc.gw.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Sessions []gwSession `json:"sessions"`
+	}
+	if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if len(list.Sessions) != 3 {
+		t.Fatalf("merged list has %d sessions, want 3", len(list.Sessions))
+	}
+	for _, s := range list.Sessions {
+		if s.Node == "" {
+			t.Errorf("session %s missing its node label", s.ID)
+		}
+	}
+
+	// Pause/resume proxy: conflict on a finished session comes back 409.
+	pr, err := http.Post(tc.gw.URL+"/v1/sessions/"+v.ID+"/pause", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, pr.Body)
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusConflict {
+		t.Errorf("pause done session via gateway: status %d, want 409", pr.StatusCode)
+	}
+
+	// Unknown ids are the gateway's 404, not a proxied one.
+	nr, err := http.Get(tc.gw.URL + "/v1/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, nr.Body)
+	nr.Body.Close()
+	if nr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session via gateway: status %d, want 404", nr.StatusCode)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/service"
+	"repro/internal/session"
 	"repro/internal/telemetry"
 )
 
@@ -36,6 +37,9 @@ type ClusterStats struct {
 	// InFlight is how many accepted jobs the gateway still considers
 	// unfinished (terminal states not yet observed by a poll).
 	InFlight int `json:"in_flight"`
+	// LiveSessions is how many routed sessions the gateway still considers
+	// running (and therefore replicates checkpoints for).
+	LiveSessions int `json:"live_sessions"`
 }
 
 // FederatedStats fans a stats fetch out to every up or draining member
@@ -78,6 +82,7 @@ func (r *Router) FederatedStats(ctx context.Context) ClusterStats {
 	out.Gateway = r.Counters()
 	out.GatewayWindow = r.tele.Stats(out.Now)
 	out.InFlight = r.inFlight()
+	out.LiveSessions = r.liveSessions()
 	return out
 }
 
@@ -134,7 +139,42 @@ func mergeTelemetry(a, b service.TelemetryStats) service.TelemetryStats {
 	out.Points = telemetry.Merge(a.Points, b.Points)
 	out.PointsPerSec = out.Points.SumPerSec
 	out.Anomalies = mergeAnomalies(a.Anomalies, b.Anomalies)
+	out.Sessions = mergeSessions(a.Sessions, b.Sessions)
+	out.Warmer = mergeWarmer(a.Warmer, b.Warmer)
 	return out
+}
+
+// mergeSessions folds two nodes' session summaries; every field is a
+// count, so the cluster view is the sum.
+func mergeSessions(a, b *session.Stats) *session.Stats {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &session.Stats{
+		Active: a.Active + b.Active, Paused: a.Paused + b.Paused,
+		Done: a.Done + b.Done, Failed: a.Failed + b.Failed,
+		Created: a.Created + b.Created, Recovered: a.Recovered + b.Recovered,
+		Resumes: a.Resumes + b.Resumes, Forks: a.Forks + b.Forks,
+		Segments: a.Segments + b.Segments,
+	}
+}
+
+// mergeWarmer folds two nodes' sweep-warmer summaries the same way.
+func mergeWarmer(a, b *session.WarmerStats) *session.WarmerStats {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &session.WarmerStats{
+		Observed: a.Observed + b.Observed, Predictions: a.Predictions + b.Predictions,
+		Warmed: a.Warmed + b.Warmed, Shed: a.Shed + b.Shed, Hits: a.Hits + b.Hits,
+		Tracks: a.Tracks + b.Tracks, Resets: a.Resets + b.Resets,
+	}
 }
 
 // mergedAnomalyCap bounds the merged recent-anomaly history; each node

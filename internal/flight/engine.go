@@ -19,6 +19,7 @@ const (
 	RuleShedBurst    = "shed-burst"
 	RuleStraggler    = "straggler"
 	RuleModelDrift   = "model-drift"
+	RuleResumeLoop   = "resume-loop"
 )
 
 // Rules configures the anomaly engine. The zero value is usable: every
@@ -57,6 +58,10 @@ type Rules struct {
 	// can map "bulk" to "hybrid-overlap" and have bulk-synchronous
 	// behavior — submitted or regressed — flagged as drift.
 	ModelKinds map[string]string
+	// ResumeLoop fires resume-loop when one session is recovered or
+	// resumed this many times without its step count advancing — a
+	// crash-recovery loop that keeps replaying the same segment (default 3).
+	ResumeLoop int
 }
 
 func (r Rules) withDefaults() Rules {
@@ -86,6 +91,9 @@ func (r Rules) withDefaults() Rules {
 	}
 	if r.ModelMachine == "" {
 		r.ModelMachine = "Yona"
+	}
+	if r.ResumeLoop <= 0 {
+		r.ResumeLoop = 3
 	}
 	return r
 }
@@ -147,6 +155,7 @@ type Engine struct {
 	latency  map[string]*telemetry.Window // per job type, seconds
 	baseline map[string]*meanAcc          // per job type lifetime mean
 	sheds    *telemetry.Window
+	resumes  map[string]resumeTrack // per session id
 	lastFire map[string]time.Time
 	anoms    []Anomaly
 	total    uint64
@@ -162,6 +171,17 @@ type meanAcc struct {
 	sum   float64
 }
 
+// resumeTrack follows one session's recoveries: how many landed while its
+// step count stood still at steps.
+type resumeTrack struct {
+	steps int64
+	count int
+}
+
+// maxResumeTracks bounds the per-session resume state; when full, the map
+// resets (a node hosts far fewer live sessions than this).
+const maxResumeTracks = 1024
+
 // NewEngine builds an engine over the given rules, freezing snapshots of
 // rec (which may be nil) on every firing.
 func NewEngine(rules Rules, rec *Recorder) *Engine {
@@ -171,6 +191,7 @@ func NewEngine(rules Rules, rec *Recorder) *Engine {
 		rec:      rec,
 		latency:  make(map[string]*telemetry.Window),
 		baseline: make(map[string]*meanAcc),
+		resumes:  make(map[string]resumeTrack),
 		sheds:    telemetry.NewWindow(r.Window, r.Window/15, nil),
 		lastFire: make(map[string]time.Time),
 		byRule:   make(map[string]int),
@@ -269,6 +290,42 @@ func (e *Engine) ObserveShed(now time.Time) {
 		return
 	}
 	e.sheds.Observe(now, 1)
+}
+
+// ObserveResume feeds one session recovery or resume with the step count
+// it restarts from. Resumes are healthy — a restart, a pause lifted — but
+// the same session resuming repeatedly from the same step means every
+// attempt dies before its next durable checkpoint: a crash-recovery loop
+// burning the node, which fires resume-loop once the count crosses
+// Rules.ResumeLoop.
+func (e *Engine) ObserveResume(now time.Time, sessionID string, doneSteps int64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	t, ok := e.resumes[sessionID]
+	if !ok && len(e.resumes) >= maxResumeTracks {
+		clear(e.resumes)
+	}
+	if !ok || t.steps != doneSteps {
+		t = resumeTrack{steps: doneSteps}
+	}
+	t.count++
+	e.resumes[sessionID] = t
+	bound := e.rules.ResumeLoop
+	e.mu.Unlock()
+	if t.count < bound {
+		return
+	}
+	e.fire(Anomaly{
+		Time: now,
+		Rule: RuleResumeLoop,
+		Message: fmt.Sprintf("session %s resumed %d times without advancing past step %d",
+			sessionID, t.count, doneSteps),
+		JobID: sessionID,
+		Value: float64(t.count),
+		Bound: float64(bound),
+	})
 }
 
 // checkStraggler fires when one rank's busy time dominates the others.

@@ -2,6 +2,7 @@ package flight
 
 import (
 	"bytes"
+	"fmt"
 	"log/slog"
 	"strings"
 	"testing"
@@ -398,5 +399,53 @@ func TestEngineAnomalyHistoryBounded(t *testing.T) {
 	// Oldest evicted: retained history is the last four firings.
 	if st.Recent[0].Seq != 6 || st.Recent[3].Seq != 9 {
 		t.Errorf("retained seqs %d..%d, want 6..9", st.Recent[0].Seq, st.Recent[3].Seq)
+	}
+}
+
+func TestEngineResumeLoop(t *testing.T) {
+	e := NewEngine(Rules{ResumeLoop: 3, Cooldown: time.Hour}, nil)
+	var fired []Anomaly
+	e.Notify(func(a Anomaly, _ Snapshot) { fired = append(fired, a) })
+
+	// Forward progress between resumes never fires, however many there are.
+	for i := 0; i < 6; i++ {
+		e.ObserveResume(at(i), "sess-ok", int64(100*i))
+	}
+	if len(fired) != 0 {
+		t.Fatalf("advancing session fired %d anomalies", len(fired))
+	}
+
+	// Three resumes pinned at the same step is a crash loop.
+	e.ObserveResume(at(10), "sess-stuck", 400)
+	e.ObserveResume(at(11), "sess-stuck", 400)
+	if len(fired) != 0 {
+		t.Fatalf("fired below the bound: %d", len(fired))
+	}
+	e.ObserveResume(at(12), "sess-stuck", 400)
+	if len(fired) != 1 || fired[0].Rule != RuleResumeLoop || fired[0].JobID != "sess-stuck" {
+		t.Fatalf("fired = %+v, want one resume-loop for sess-stuck", fired)
+	}
+	if fired[0].Value != 3 || fired[0].Bound != 3 {
+		t.Fatalf("value/bound = %v/%v, want 3/3", fired[0].Value, fired[0].Bound)
+	}
+
+	// Advancing past the stuck step resets the streak.
+	e.ObserveResume(at(13), "sess-stuck", 600)
+	e.ObserveResume(at(14), "sess-stuck", 600)
+	if len(fired) != 1 {
+		t.Fatalf("reset streak refired: %d", len(fired))
+	}
+}
+
+func TestEngineResumeTrackBound(t *testing.T) {
+	e := NewEngine(Rules{ResumeLoop: 3}, nil)
+	for i := 0; i < maxResumeTracks+10; i++ {
+		e.ObserveResume(at(i), fmt.Sprintf("s-%d", i), 0)
+	}
+	e.mu.Lock()
+	n := len(e.resumes)
+	e.mu.Unlock()
+	if n > maxResumeTracks {
+		t.Fatalf("resume tracker grew to %d entries, bound is %d", n, maxResumeTracks)
 	}
 }

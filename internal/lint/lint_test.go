@@ -124,6 +124,15 @@ func TestFlightNilsafeFixture(t *testing.T) {
 	runFixture(t, "flightsafe", "fixture/internal/flight", lint.Default())
 }
 
+// TestSessionNilsafeFixture loads the fixture under an import path ending
+// in internal/session, so the default registry's nilsafe coverage of
+// *session.Store and *session.Warmer applies — both types are nil when
+// sessions or warming are disabled, and every exported method must be a
+// safe no-op on the nil receiver.
+func TestSessionNilsafeFixture(t *testing.T) {
+	runFixture(t, "sessionsafe", "fixture/internal/session", lint.Default())
+}
+
 func TestClockParamFixture(t *testing.T) {
 	runFixture(t, "clockparam", "fixture/clockparam", []*lint.Analyzer{
 		lint.ClockDiscipline(nil, []string{"clockparam.Tick"}),

@@ -10,6 +10,7 @@ func Default() []*Analyzer {
 			"internal/obs":       {"Recorder"},
 			"internal/telemetry": {"Window", "Hub"},
 			"internal/flight":    {"Recorder", "Engine"},
+			"internal/session":   {"Store", "Warmer"},
 		}),
 		ClockDiscipline(
 			[]string{"internal/gpusim", "internal/vtime"},

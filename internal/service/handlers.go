@@ -30,6 +30,13 @@ type errorDoc struct {
 //	GET    /v1/jobs/{id}/trace  stitched Chrome trace of a traced job
 //	GET    /v1/jobs/{id}/spans  raw span log as a trace context (cluster harvest)
 //	DELETE /v1/jobs/{id}        cancel
+//	POST   /v1/sessions         start a resumable checkpointed session (202)
+//	GET    /v1/sessions         list sessions
+//	GET    /v1/sessions/{id}    session status (done/total steps, checkpoint, hash)
+//	POST   /v1/sessions/{id}/pause   pause (rolls back to the last durable checkpoint)
+//	POST   /v1/sessions/{id}/resume  resume a paused session
+//	POST   /v1/sessions/{id}/fork    branch from a retained checkpoint with mutated options
+//	GET    /v1/sessions/{id}/checkpoint  raw newest checkpoint bytes (cluster replication)
 //	GET    /v1/stats            rolling-window telemetry (last N seconds)
 //	GET    /v1/stream           live SSE stream of job events and stats
 //	GET    /v1/kinds            implementation catalogue
@@ -50,6 +57,13 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
+	mux.HandleFunc("POST /v1/sessions/{id}/pause", s.handleSessionPause)
+	mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleSessionResume)
+	mux.HandleFunc("POST /v1/sessions/{id}/fork", s.handleSessionFork)
+	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", s.handleSessionCheckpoint)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/kinds", s.handleKinds)

@@ -312,6 +312,11 @@ type Job struct {
 	// gateway minted and propagated on the X-Advect-Trace header, or ""
 	// for direct submissions. Set once at submit; read without the mutex.
 	traceID string
+	// background marks a speculative pre-execution (sweep warming): queued
+	// on the background lane, shed before any foreground job waits, and
+	// kept out of the interactive telemetry windows. Set once at submit;
+	// read without the mutex.
+	background bool
 }
 
 // newJob builds a queued job whose context descends from base. Traced
@@ -335,6 +340,9 @@ func (j *Job) Trace() *obs.Recorder { return j.rec }
 // TraceID returns the propagated cluster-wide trace id ("" for direct
 // submissions).
 func (j *Job) TraceID() string { return j.traceID }
+
+// Background reports whether the job is a speculative pre-execution.
+func (j *Job) Background() bool { return j.background }
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
@@ -425,9 +433,11 @@ type View struct {
 	Finished  *time.Time `json:"finished,omitempty"`
 	CacheKey  string     `json:"cache_key"`
 	CacheHit  bool       `json:"cache_hit"`
-	TraceID   string     `json:"trace_id,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Request   Request    `json:"request"`
+	// Background marks a speculative sweep-warmer pre-execution.
+	Background bool    `json:"background,omitempty"`
+	TraceID    string  `json:"trace_id,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Request    Request `json:"request"`
 }
 
 // View snapshots the job for the API.
@@ -437,7 +447,8 @@ func (j *Job) View() View {
 	v := View{
 		ID: j.id, Type: j.req.Type, State: j.state,
 		Submitted: j.submitted, CacheKey: j.cacheKey, CacheHit: j.cacheHit,
-		TraceID: j.traceID, Error: j.errMsg, Request: j.req,
+		Background: j.background,
+		TraceID:    j.traceID, Error: j.errMsg, Request: j.req,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -26,7 +26,14 @@ func NewPool(n int, q *Queue, exec func(*Job)) *Pool {
 	for i := 0; i < n; i++ {
 		go func() {
 			defer p.wg.Done()
-			for j := range q.Chan() {
+			for {
+				// Pop prefers the foreground lane, so speculative
+				// background work only reaches a worker that would
+				// otherwise idle.
+				j, ok := q.Pop()
+				if !ok {
+					return
+				}
 				p.busy.Add(1)
 				exec(j)
 				p.busy.Add(-1)

@@ -8,11 +8,13 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/flight"
 	"repro/internal/obs"
+	"repro/internal/session"
 	"repro/internal/telemetry"
 )
 
@@ -60,6 +62,23 @@ type Config struct {
 	// on idle /v1/stream connections, keeping proxies from severing quiet
 	// subscribers. Default 15s.
 	HeartbeatInterval time.Duration
+	// SessionDir enables resumable sessions: the directory holding the
+	// checkpoint store and session records (POST /v1/sessions). Empty
+	// disables sessions (the routes answer 503). A restarted node rescans
+	// the directory and resumes interrupted sessions automatically.
+	SessionDir string
+	// SessionSegment is the default steps per durable session checkpoint
+	// (default 25); SessionRetain the checkpoints kept per session
+	// (default 4); SessionWorkers bounds concurrently executing segments
+	// (default 1).
+	SessionSegment int
+	SessionRetain  int
+	SessionWorkers int
+	// WarmSweeps enables the speculative sweep warmer: stepped-parameter
+	// patterns in the interactive submission stream predict their next
+	// points, which idle workers pre-execute at background priority so the
+	// sweep's next request is a cache hit.
+	WarmSweeps bool
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +130,16 @@ type Server struct {
 	flight  *flight.Recorder
 	engine  *flight.Engine
 
+	// sessions and sessStore are the resumable-session subsystem (nil when
+	// Config.SessionDir is empty); warmer is the speculative sweep
+	// detector (nil when Config.WarmSweeps is false).
+	sessions  *session.Manager
+	sessStore *session.Store
+	warmer    *session.Warmer
+
+	warmMu       sync.Mutex
+	warmInflight map[string]struct{} // cache keys with a background job queued
+
 	baseCtx    context.Context    // parent of every job context
 	cancelJobs context.CancelFunc // fired when the drain deadline passes
 	draining   atomic.Bool
@@ -143,12 +172,51 @@ func New(cfg Config) *Server {
 		s.engine = flight.NewEngine(cfg.FlightRules, s.flight)
 		s.engine.Notify(s.publishAnomaly)
 	}
+	if cfg.WarmSweeps {
+		s.warmer = session.NewWarmer(session.WarmerConfig{})
+	}
+	if cfg.SessionDir != "" {
+		s.openSessions(cfg)
+	}
 	s.pool = NewPool(cfg.Workers, s.queue, s.runJob)
 	s.mux = s.routes()
 	if s.engine.Enabled() {
 		go s.sweepLoop()
 	}
 	return s
+}
+
+// openSessions wires the resumable-session subsystem: the durable store,
+// the manager running segments through the same registry path as one-shot
+// jobs, and crash recovery of whatever the store already holds. A store
+// that cannot be opened disables sessions (loudly) rather than the node.
+func (s *Server) openSessions(cfg Config) {
+	store, err := session.Open(cfg.SessionDir)
+	if err != nil {
+		s.log.Error("sessions disabled", "dir", cfg.SessionDir, "error", err)
+		return
+	}
+	prefix := ""
+	if cfg.NodeID != "" {
+		prefix = cfg.NodeID + "-"
+	}
+	mgr, err := session.NewManager(session.Config{
+		Store: store, Run: runKind,
+		Segment: cfg.SessionSegment, Retain: cfg.SessionRetain,
+		Workers:  cfg.SessionWorkers,
+		IDPrefix: prefix, Notify: s.publishSession, Logger: s.log,
+	})
+	if err != nil {
+		s.log.Error("sessions disabled", "dir", cfg.SessionDir, "error", err)
+		return
+	}
+	s.sessStore = store
+	s.sessions = mgr
+	if n, err := mgr.Recover(); err != nil {
+		s.log.Warn("session recovery scan failed", "error", err)
+	} else if n > 0 {
+		s.log.Info("sessions recovered", "resumed", n)
+	}
 }
 
 // publishAnomaly surfaces one engine firing: a warning on the node log
@@ -253,8 +321,10 @@ func (s *Server) SubmitTraced(req Request, tc *obs.TraceContext) (*Job, error) {
 		s.store.Add(j)
 		s.metrics.CountJob(req.Type, outcomeSubmitted)
 		s.metrics.CountJob(req.Type, outcomeCached)
-		s.log.Info("job submitted", jobArgs(j, "cache_hit", true)...)
+		warmed := s.warmer.WasWarmed(j.cacheKey) // counts a warmer hit
+		s.log.Info("job submitted", jobArgs(j, "cache_hit", true, "warmed", warmed)...)
 		s.publishJob(j)
+		s.warmFromSubmit(req)
 		return j, nil
 	}
 	if !s.queue.TryPush(j) {
@@ -271,6 +341,7 @@ func (s *Server) SubmitTraced(req Request, tc *obs.TraceContext) (*Job, error) {
 	s.tele.RecordDepth(now, s.queue.Depth())
 	s.log.Info("job submitted", jobArgs(j, "cache_hit", false)...)
 	s.publishJob(j)
+	s.warmFromSubmit(req)
 	return j, nil
 }
 
@@ -293,12 +364,24 @@ func (s *Server) publishJob(j *Job) {
 func (s *Server) runJob(j *Job) {
 	claimed := time.Now()
 	if !j.claim(claimed) {
-		return // cancelled while queued
+		// Cancelled while queued: the job never ran, so it gets no exec
+		// span and feeds no latency window — only the outcome counter and
+		// the terminal-state event the poller and the stream both see.
+		s.metrics.CountJob(j.req.Type, outcomeCancelled)
+		if j.background {
+			s.releaseWarm(j.cacheKey)
+			s.warmer.NoteShed()
+		}
+		s.log.Info("job skipped", jobArgs(j, "state", j.State(), "reason", "cancelled while queued")...)
+		s.publishJob(j)
+		return
 	}
-	j.rec.Add(obs.RankService, -1, obs.PhaseQueueWait, "", j.queuedAt, j.rec.Clock())
-	s.tele.RecordQueueWait(claimed, claimed.Sub(j.submitted))
-	s.tele.RecordDepth(claimed, s.queue.Depth())
-	s.log.Info("job started", jobArgs(j)...)
+	if !j.background {
+		j.rec.Add(obs.RankService, -1, obs.PhaseQueueWait, "", j.queuedAt, j.rec.Clock())
+		s.tele.RecordQueueWait(claimed, claimed.Sub(j.submitted))
+		s.tele.RecordDepth(claimed, s.queue.Depth())
+	}
+	s.log.Info("job started", jobArgs(j, "background", j.background)...)
 	s.publishJob(j)
 	start := time.Now()
 	exec := j.rec.Begin(obs.RankService, -1, obs.PhaseWorkerExec, "")
@@ -306,6 +389,10 @@ func (s *Server) runJob(j *Job) {
 	exec.End()
 	elapsed := time.Since(start)
 	now := time.Now()
+	if j.background {
+		s.finishBackground(j, doc, err, elapsed, now)
+		return
+	}
 	switch {
 	case err == nil:
 		j.finish(StateDone, doc, "", now)
@@ -338,6 +425,33 @@ func (s *Server) runJob(j *Job) {
 		j.finish(StateFailed, nil, err.Error(), now)
 		s.metrics.CountJob(j.req.Type, outcomeFailed)
 		s.log.Error("job finished", jobArgs(j, "state", StateFailed, "duration", elapsed, "error", err)...)
+	}
+	s.publishJob(j)
+}
+
+// finishBackground lands a speculative pre-execution. A completed one
+// seeds the cache and is remembered by the warmer so the matching
+// interactive submission counts as a warmer hit; failures and
+// cancellations just land — background work never feeds the interactive
+// telemetry windows or the anomaly engine.
+func (s *Server) finishBackground(j *Job, doc json.RawMessage, err error, elapsed time.Duration, now time.Time) {
+	s.releaseWarm(j.cacheKey)
+	switch {
+	case err == nil:
+		j.finish(StateDone, doc, "", now)
+		s.cache.Put(j.cacheKey, doc)
+		s.warmer.MarkWarmed(j.cacheKey)
+		s.metrics.CountJob(j.req.Type, outcomeDone)
+		s.log.Info("job finished", jobArgs(j, "state", StateDone, "duration", elapsed, "background", true)...)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateCancelled, nil, err.Error(), now)
+		s.metrics.CountJob(j.req.Type, outcomeCancelled)
+		s.warmer.NoteShed()
+		s.log.Info("job finished", jobArgs(j, "state", StateCancelled, "duration", elapsed, "background", true)...)
+	default:
+		j.finish(StateFailed, nil, err.Error(), now)
+		s.metrics.CountJob(j.req.Type, outcomeFailed)
+		s.log.Warn("job finished", jobArgs(j, "state", StateFailed, "duration", elapsed, "background", true, "error", err)...)
 	}
 	s.publishJob(j)
 }
@@ -407,6 +521,14 @@ func (s *Server) StatsSnapshot() TelemetryStats {
 		a := s.engine.Anomalies()
 		st.Anomalies = &a
 	}
+	if s.sessions != nil {
+		sst := s.sessions.Stats()
+		st.Sessions = &sst
+	}
+	if s.warmer != nil {
+		wst := s.warmer.Stats()
+		st.Warmer = &wst
+	}
 	return st
 }
 
@@ -417,6 +539,13 @@ func (s *Server) StatsSnapshot() TelemetryStats {
 // drain, or an error naming the jobs that had to be cancelled.
 func (s *Server) Shutdown() error {
 	s.draining.Store(true)
+	if s.sessions != nil {
+		// Session shutdown is deliberately crash-shaped: in-flight segments
+		// are cancelled, records stay "running" on disk, and the next
+		// process resumes them from their last durable checkpoint — the
+		// same path an actual crash takes, exercised on every restart.
+		s.sessions.Close()
+	}
 	s.queue.Close()
 	s.log.Info("drain started", "timeout", s.cfg.DrainTimeout)
 	done := make(chan struct{})

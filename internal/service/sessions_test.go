@@ -1,0 +1,437 @@
+package service
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/session"
+)
+
+func postSession(t *testing.T, ts *httptest.Server, body string) (*http.Response, session.View) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v session.View
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode session view: %v", err)
+		}
+	}
+	return resp, v
+}
+
+func getSession(t *testing.T, ts *httptest.Server, id string) session.View {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session status: %v", resp.Status)
+	}
+	var v session.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitSessionState(t *testing.T, ts *httptest.Server, id string, want session.State) session.View {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v := getSession(t, ts, id)
+		if v.State == want {
+			return v
+		}
+		if v.State.Terminal() {
+			t.Fatalf("session %s landed in %s (error %q), want %s", id, v.State, v.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s stuck in %s at step %d, want %s", id, v.State, v.DoneSteps, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func statsDoc(t *testing.T, ts *httptest.Server) TelemetryStats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st TelemetryStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSessionLifecycleHTTP drives a session over the API: create, run to
+// completion across several segments, fork from a retained checkpoint with
+// mutated options, and pull raw checkpoint bytes for replication.
+func TestSessionLifecycleHTTP(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 2, SessionDir: dir})
+
+	resp, v := postSession(t, ts,
+		`{"simulate":{"kind":"bulk","n":8,"steps":40},"segment":10,"retain":4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: %v", resp.Status)
+	}
+	if v.State != session.StateRunning || v.TotalSteps != 40 || v.Segment != 10 {
+		t.Fatalf("fresh session %+v", v)
+	}
+	done := waitSessionState(t, ts, v.ID, session.StateDone)
+	if done.DoneSteps != 40 || done.Segments != 4 || done.FieldHash == "" {
+		t.Fatalf("finished session %+v", done)
+	}
+
+	// Pause after completion conflicts; unknown ids are 404.
+	pr, err := http.Post(ts.URL+"/v1/sessions/"+v.ID+"/pause", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusConflict {
+		t.Fatalf("pause done session: %v", pr.Status)
+	}
+	nr, err := http.Get(ts.URL + "/v1/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr.Body.Close()
+	if nr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: %v", nr.Status)
+	}
+
+	// Fork from the middle with more threads and a longer trajectory.
+	fr, err := http.Post(ts.URL+"/v1/sessions/"+v.ID+"/fork", "application/json",
+		strings.NewReader(`{"at_step":20,"total_steps":60,"threads":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var child session.View
+	if err := json.NewDecoder(fr.Body).Decode(&child); err != nil {
+		t.Fatal(err)
+	}
+	fr.Body.Close()
+	if fr.StatusCode != http.StatusAccepted {
+		t.Fatalf("fork: %v", fr.Status)
+	}
+	if child.ParentFP != done.Fingerprint || child.ParentStep != 20 || child.DoneSteps != 20 {
+		t.Fatalf("fork child %+v", child)
+	}
+	childDone := waitSessionState(t, ts, child.ID, session.StateDone)
+	if childDone.DoneSteps != 60 {
+		t.Fatalf("fork child finished at %d steps, want 60", childDone.DoneSteps)
+	}
+
+	// The replication surface serves the newest checkpoint with its step
+	// and fingerprint, and retained older steps on request.
+	cr, err := http.Get(ts.URL + "/v1/sessions/" + v.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(cr.Body)
+	cr.Body.Close()
+	if cr.StatusCode != http.StatusOK || len(blob) == 0 {
+		t.Fatalf("checkpoint: %v (%d bytes)", cr.Status, len(blob))
+	}
+	if got := cr.Header.Get(SessionStepHeader); got != "40" {
+		t.Fatalf("checkpoint step header %q, want 40", got)
+	}
+	if got := cr.Header.Get(SessionFPHeader); got != done.Fingerprint {
+		t.Fatalf("checkpoint fp header %q, want %q", got, done.Fingerprint)
+	}
+
+	// Listing shows both sessions; stats count them.
+	lr, err := http.Get(ts.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Sessions []session.View `json:"sessions"`
+	}
+	if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if len(list.Sessions) != 2 {
+		t.Fatalf("listed %d sessions, want 2", len(list.Sessions))
+	}
+	st := statsDoc(t, ts)
+	if st.Sessions == nil || st.Sessions.Done != 2 || st.Sessions.Forks != 1 || st.Sessions.Segments < 8 {
+		t.Fatalf("session stats %+v", st.Sessions)
+	}
+
+	// A seeded create on a fresh node (the failover path) continues from
+	// the shipped checkpoint instead of step zero.
+	dir2 := t.TempDir()
+	_, ts2 := newTestServer(t, Config{Workers: 2, SessionDir: dir2})
+	seeded := fmt.Sprintf(
+		`{"simulate":{"kind":"bulk","n":8,"steps":80},"segment":10,"checkpoint":%q}`,
+		base64.StdEncoding.EncodeToString(blob))
+	resp2, v2 := postSession(t, ts2, seeded)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("seeded create: %v", resp2.Status)
+	}
+	if v2.DoneSteps != 40 || v2.Resumes != 1 {
+		t.Fatalf("seeded session %+v", v2)
+	}
+	if got := waitSessionState(t, ts2, v2.ID, session.StateDone); got.DoneSteps != 80 {
+		t.Fatalf("seeded session finished at %d steps, want 80", got.DoneSteps)
+	}
+}
+
+// TestSessionValidation pins the request checks: trace is rejected, zero
+// steps are rejected, and a node without a session directory answers 503.
+func TestSessionValidation(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, SessionDir: dir})
+	for _, body := range []string{
+		`{"simulate":{"kind":"bulk","n":8,"steps":10,"trace":true}}`,
+		`{"simulate":{"kind":"bulk","n":8,"steps":0}}`,
+		`{"simulate":{"kind":"bulk","n":8,"steps":10},"segment":99}`,
+		`{}`,
+	} {
+		resp, _ := postSession(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: %v, want 400", body, resp.Status)
+		}
+	}
+
+	_, bare := newTestServer(t, Config{Workers: 1})
+	resp, _ := postSession(t, bare, `{"simulate":{"kind":"bulk","n":8,"steps":10}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sessions on a bare node: %v, want 503", resp.Status)
+	}
+}
+
+// TestSessionDurabilityAcrossRestart is the e2e durability run the issue
+// demands: a session interrupted by a full server shutdown mid-run is
+// resumed by the next server over the same directory and finishes with a
+// field bitwise-equal to an uninterrupted run of the same scenario.
+func TestSessionDurabilityAcrossRestart(t *testing.T) {
+	const body = `{"simulate":{"kind":"bulk","n":24,"steps":3000},"segment":200}`
+
+	// Reference: the same scenario, uninterrupted, on its own store.
+	_, refTS := newTestServer(t, Config{Workers: 2, SessionDir: t.TempDir()})
+	resp, ref := postSession(t, refTS, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("reference create: %v", resp.Status)
+	}
+	refDone := waitSessionState(t, refTS, ref.ID, session.StateDone)
+	if refDone.FieldHash == "" {
+		t.Fatal("reference session has no field hash")
+	}
+
+	// Interrupted: shut the whole server down as soon as the first durable
+	// checkpoint lands, long before the trajectory completes.
+	dir := t.TempDir()
+	s1 := New(Config{Workers: 2, SessionDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+	resp, v := postSession(t, ts1, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: %v", resp.Status)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur := getSession(t, ts1, v.ID)
+		if cur.DoneSteps >= 200 && cur.State == session.StateRunning {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("session finished (%s at %d) before the test could interrupt it; grow the problem",
+				cur.State, cur.DoneSteps)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no durable checkpoint landed in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s1.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts1.Close()
+
+	// Restart over the same directory: recovery rescans the store and the
+	// session resumes from its last durable checkpoint under its old id.
+	_, ts2 := newTestServer(t, Config{Workers: 2, SessionDir: dir})
+	got := getSession(t, ts2, v.ID)
+	if got.ID != v.ID || got.Resumes < 1 {
+		t.Fatalf("recovered session %+v", got)
+	}
+	final := waitSessionState(t, ts2, v.ID, session.StateDone)
+	if final.DoneSteps != 3000 {
+		t.Fatalf("recovered session finished at %d steps, want 3000", final.DoneSteps)
+	}
+	if final.FieldHash != refDone.FieldHash {
+		t.Fatalf("recovered field hash %s differs from uninterrupted %s — resume is not bitwise-faithful",
+			final.FieldHash, refDone.FieldHash)
+	}
+	st := statsDoc(t, ts2)
+	if st.Sessions == nil || st.Sessions.Recovered < 1 || st.Sessions.Resumes < 1 {
+		t.Fatalf("recovery not visible in stats: %+v", st.Sessions)
+	}
+}
+
+// TestSweepWarming is the e2e speculation run the issue demands: a client
+// stepping one parameter arithmetically through 8 points has at least half
+// of them answered from cache because idle workers pre-executed the
+// predicted next points, with the payoff visible in /v1/stats.
+func TestSweepWarming(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueCap: 8, WarmSweeps: true})
+
+	submit := func(steps int) View {
+		t.Helper()
+		body := fmt.Sprintf(`{"type":"simulate","simulate":{"kind":"bulk","n":8,"steps":%d,"tasks":1,"threads":1}}`, steps)
+		resp, v := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit steps=%d: %v", steps, resp.Status)
+		}
+		waitState(t, ts, v.ID, StateDone)
+		return v
+	}
+	// waitWarm gives the background pre-execution of a predicted point time
+	// to land in the cache before the sweep's next request asks for it.
+	waitWarm := func(steps int) {
+		t.Helper()
+		req := Request{Type: TypeSimulate, Simulate: &SimulateRequest{
+			Kind: "bulk", N: 8, Steps: steps, Tasks: 1, Threads: 1,
+		}}
+		key := req.CacheKey()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if _, ok := s.cache.Peek(key); ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("predicted point steps=%d never warmed", steps)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	sweep := []int{40, 80, 120, 160, 200, 240, 280, 320}
+	hits := 0
+	for i, steps := range sweep {
+		v := submit(steps)
+		if v.CacheHit {
+			hits++
+		}
+		// Three points make two equal deltas — from there every point
+		// predicts the next ones, so the remainder of the sweep is warmed.
+		if i >= 2 && i+1 < len(sweep) {
+			waitWarm(sweep[i+1])
+		}
+	}
+	if hits < len(sweep)/2 {
+		t.Fatalf("%d of %d sweep points served from cache, want at least half", hits, len(sweep))
+	}
+
+	st := statsDoc(t, ts)
+	if st.Warmer == nil {
+		t.Fatal("warmer stats missing from /v1/stats")
+	}
+	if st.Warmer.Predictions == 0 || st.Warmer.Warmed < int64(hits) || st.Warmer.Hits < int64(hits) {
+		t.Fatalf("warmer stats %+v do not account for %d hits", st.Warmer, hits)
+	}
+	if st.Warmer.Observed < int64(len(sweep)) {
+		t.Fatalf("warmer observed %d submissions, want at least %d", st.Warmer.Observed, len(sweep))
+	}
+
+	// Background pre-executions are visible as background jobs, and the
+	// interactive path never queued behind them.
+	var bg int
+	for _, j := range s.store.List() {
+		if j.Background() {
+			bg++
+		}
+	}
+	if bg == 0 {
+		t.Fatal("no background jobs recorded")
+	}
+}
+
+// TestCancelWhileQueuedSkipsExecution pins the tightened queued→cancelled
+// transition: a job cancelled while waiting in the queue is counted, gets
+// its terminal event published, and never receives an exec span or a
+// telemetry observation.
+func TestCancelWhileQueuedSkipsExecution(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueCap: 8})
+
+	// Occupy the single worker so the victim stays queued.
+	resp, slow := postJob(t, ts, slowBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow submit: %v", resp.Status)
+	}
+	waitState(t, ts, slow.ID, StateRunning)
+
+	resp, victim := postJob(t, ts,
+		`{"type":"simulate","simulate":{"kind":"bulk","n":12,"steps":7,"trace":true}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("victim submit: %v", resp.Status)
+	}
+	if victim.State != StateQueued {
+		t.Fatalf("victim in state %s, want queued", victim.State)
+	}
+
+	// Cancel the queued victim, then free the worker; the worker must pop
+	// the victim and skip it without executing.
+	for _, id := range []string{victim.ID, slow.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		dr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr.Body.Close()
+		if dr.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %s: %v", id, dr.Status)
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap := metricsJSON(t, ts)
+		if snap.Jobs["simulate"]["cancelled"] == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled outcomes %v", snap.Jobs["simulate"])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The victim ran nothing: no worker-exec span on its recorder, and the
+	// only queue-wait observation in the window belongs to the slow job.
+	j, ok := s.store.Get(victim.ID)
+	if !ok {
+		t.Fatal("victim missing from store")
+	}
+	for _, sp := range j.Trace().Spans() {
+		if sp.Phase == obs.PhaseWorkerExec || sp.Phase == obs.PhaseQueueWait {
+			t.Fatalf("cancelled-while-queued job recorded a %v span", sp.Phase)
+		}
+	}
+	st := statsDoc(t, ts)
+	if st.QueueWait.Count != 1 {
+		t.Fatalf("queue-wait observations %d, want 1 (slow job only)", st.QueueWait.Count)
+	}
+	if st.Exec["simulate"].Count != 0 {
+		t.Fatalf("exec window saw %d simulate jobs, want 0 (both were cancelled)", st.Exec["simulate"].Count)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/obs"
+	"repro/internal/session"
 	"repro/internal/telemetry"
 )
 
@@ -133,6 +134,14 @@ type TelemetryStats struct {
 	// Anomalies summarizes the flight anomaly engine (nil when flight is
 	// disabled): totals, per-rule counts, and the retained history.
 	Anomalies *flight.AnomalyStats `json:"anomalies,omitempty"`
+	// Sessions summarizes the resumable-session manager (nil when sessions
+	// are disabled): live counts by state plus lifetime segment/resume/fork
+	// counters.
+	Sessions *session.Stats `json:"sessions,omitempty"`
+	// Warmer summarizes the speculative sweep warmer (nil when warming is
+	// disabled): predictions made, points pre-executed, sheds, and cache
+	// hits served from warmed entries.
+	Warmer *session.WarmerStats `json:"warmer,omitempty"`
 }
 
 // Stats snapshots every window at now.
